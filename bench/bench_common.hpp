@@ -1,0 +1,90 @@
+// Shared setup for the paper-reproduction benches: synthetic CIFAR-10
+// stand-in datasets and a trained three-stage ResNet (Fig. 3 structure),
+// with variants for the three calibration methods compared in Table II.
+#pragma once
+
+#include <cstdio>
+
+#include "calib/calibrators.hpp"
+#include "calib/ece.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/train.hpp"
+
+namespace eugene::bench {
+
+/// Everything the calibration / GP / scheduling benches need.
+struct Bundle {
+  data::SyntheticImageConfig data_config;
+  nn::StagedResNetConfig model_config;
+  data::Dataset train_set;
+  data::Dataset calib_set;  ///< held-out split used for calibration + GP fits
+  data::Dataset test_set;   ///< evaluation split
+  nn::StagedModel model;    ///< trained, NOT yet calibrated
+
+  Bundle(data::SyntheticImageConfig dc, nn::StagedResNetConfig mc, data::Dataset train,
+         data::Dataset calib, data::Dataset test, nn::StagedModel m)
+      : data_config(dc),
+        model_config(mc),
+        train_set(std::move(train)),
+        calib_set(std::move(calib)),
+        test_set(std::move(test)),
+        model(std::move(m)) {}
+};
+
+/// Workload scale knobs; the defaults fit a ~30 s single-core training run.
+struct BundleConfig {
+  std::size_t train_samples = 1500;
+  std::size_t calib_samples = 600;
+  std::size_t test_samples = 600;
+  std::size_t epochs = 12;
+  /// 0 for the main model; the RDeepSense baseline trains its own variant
+  /// with dropout heads (dropout-trained heads are systematically
+  /// underconfident, which would distort the other rows).
+  float head_dropout = 0.0f;
+  std::uint64_t seed = 424242;
+};
+
+inline Bundle make_bundle(const BundleConfig& cfg = {}) {
+  data::SyntheticImageConfig dc;  // 10-class, 3x16x16 (CIFAR-10 stand-in)
+  // Mildly easy-skewed difficulty: wide confidence spread (what the
+  // confidence-curve GPs live on) while the shallow first stage still
+  // learns the easy half of the distribution well.
+  dc.difficulty_skew = 1.15;
+  Rng rng(cfg.seed);
+  data::Dataset train = data::generate_images(dc, cfg.train_samples, rng);
+  data::Dataset calib = data::generate_images(dc, cfg.calib_samples, rng);
+  data::Dataset test = data::generate_images(dc, cfg.test_samples, rng);
+
+  nn::StagedResNetConfig mc;  // 3 stages, widths 8/16/32 (Fig. 3 shape)
+  mc.head_dropout = cfg.head_dropout;
+  mc.head_hidden = 24;  // confidence expressivity for the narrow early stages
+  mc.seed = cfg.seed + 1;
+  nn::StagedModel model = nn::build_staged_resnet(mc);
+
+  nn::StagedTrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.lr_decay_per_epoch = 0.92;
+  nn::StagedTrainer trainer(model, tc);
+  std::fprintf(stderr, "[bench] training 3-stage ResNet (%zu samples, %zu epochs)...\n",
+               train.size(), cfg.epochs);
+  trainer.fit(train.samples, train.labels);
+  return Bundle(dc, mc, std::move(train), std::move(calib), std::move(test),
+                std::move(model));
+}
+
+/// Per-stage ECE of an evaluation table.
+inline std::vector<double> stage_eces(const calib::StagedEvaluation& eval,
+                                      std::size_t bins = 10) {
+  std::vector<double> out(eval.num_stages());
+  for (std::size_t s = 0; s < eval.num_stages(); ++s)
+    out[s] = calib::expected_calibration_error(eval.predicted(s), eval.truth(s),
+                                               eval.confidence(s), bins);
+  return out;
+}
+
+inline void print_rule(std::size_t width = 72) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace eugene::bench

@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks for Eugene's hot paths: tensor kernels,
+// staged-model inference, GP vs piecewise-linear confidence queries,
+// scheduler pick overhead, and channel throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/channel.hpp"
+#include "gp/confidence_curve.hpp"
+#include "nn/staged_model.hpp"
+#include "sched/policy.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace eugene;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dIm2col(benchmark::State& state) {
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  tensor::Conv2dGeometry g;
+  g.in_channels = c;
+  g.out_channels = c;
+  g.in_height = 16;
+  g.in_width = 16;
+  const tensor::Tensor img = tensor::Tensor::randn({c, 16, 16}, rng);
+  const tensor::Tensor w = tensor::Tensor::randn({c, c * 9}, rng, 0.1f);
+  const tensor::Tensor b = tensor::Tensor::randn({c}, rng, 0.1f);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::conv2d(img, w, b, g));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::size_t>(g.flops()));
+}
+BENCHMARK(BM_Conv2dIm2col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_StagedForward(benchmark::State& state) {
+  nn::StagedResNetConfig cfg;
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  Rng rng(3);
+  const tensor::Tensor input = tensor::Tensor::randn({3, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(model.forward_all(input));
+}
+BENCHMARK(BM_StagedForward);
+
+void BM_StagedFirstStageOnly(benchmark::State& state) {
+  nn::StagedResNetConfig cfg;
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  Rng rng(4);
+  const tensor::Tensor input = tensor::Tensor::randn({3, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(model.run_stage(0, input));
+}
+BENCHMARK(BM_StagedFirstStageOnly);
+
+gp::ConfidenceCurveModel make_curves() {
+  calib::StagedEvaluation eval;
+  eval.records.resize(3);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double c1 = rng.uniform(0.1, 0.9);
+    for (std::size_t s = 0; s < 3; ++s) {
+      calib::StageRecord r;
+      r.confidence = static_cast<float>(std::min(1.0, c1 + 0.2 * (s + rng.uniform(0, 0.1))));
+      eval.records[s].push_back(r);
+    }
+  }
+  gp::ConfidenceCurveModel curves;
+  curves.fit(eval);
+  return curves;
+}
+
+void BM_GpExactPredict(benchmark::State& state) {
+  const auto curves = make_curves();
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curves.predict_gp(0, 2, x));
+    x = x < 0.9 ? x + 0.001 : 0.1;
+  }
+}
+BENCHMARK(BM_GpExactPredict);
+
+void BM_GpPiecewisePredict(benchmark::State& state) {
+  const auto curves = make_curves();
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curves.predict(0, 2, x));
+    x = x < 0.9 ? x + 0.001 : 0.1;
+  }
+}
+BENCHMARK(BM_GpPiecewisePredict);
+
+void BM_GreedyPolicyPick(benchmark::State& state) {
+  const std::size_t n_tasks = static_cast<std::size_t>(state.range(0));
+  const auto curves = make_curves();
+  sched::GpUtilityEstimator estimator(curves);
+  sched::GreedyUtilityPolicy policy(estimator, 1);
+  std::vector<std::vector<double>> conf(n_tasks);
+  std::vector<sched::TaskView> runnable(n_tasks);
+  Rng rng(6);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    if (i % 2 == 0) conf[i] = {rng.uniform(0.2, 0.9)};
+    runnable[i].task_id = i;
+    runnable[i].total_stages = 3;
+    runnable[i].stages_done = conf[i].size();
+    runnable[i].observed_confidence = conf[i];
+  }
+  for (auto _ : state) {
+    policy.reset();
+    benchmark::DoNotOptimize(policy.pick(runnable, 0.0));
+  }
+}
+BENCHMARK(BM_GreedyPolicyPick)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ChannelSendReceive(benchmark::State& state) {
+  Channel<int> ch;
+  for (auto _ : state) {
+    ch.send(1);
+    benchmark::DoNotOptimize(ch.try_receive());
+  }
+}
+BENCHMARK(BM_ChannelSendReceive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Collaborative campus surveillance (paper §IV, Fig. 5 scenario).
+//
+// Eight cameras ring a campus quad. The example walks through:
+//   1. brokering — Eugene discovers which cameras overlap purely from the
+//      correlation of their detection-count streams;
+//   2. collaborative inferencing — cameras share remapped bounding boxes,
+//      raising counting accuracy and slashing per-frame latency;
+//   3. resilience — one camera goes rogue; trust scores isolate it.
+//
+// Build & run:  ./build/examples/collaborative_campus
+#include <cstdio>
+
+#include "collab/experiment.hpp"
+
+using namespace eugene;
+
+int main() {
+  collab::CollabExperimentConfig campus;
+  campus.world.num_people = 12;
+  campus.cameras = collab::ring_of_cameras(campus.world, 8, 1.2, 85.0);
+  for (auto& cam : campus.cameras) {
+    cam.detect_base = 0.99;
+    cam.detect_range_penalty = 0.45;
+    cam.occlusion_miss = 0.4;
+    cam.false_positives_per_frame = 0.25;
+  }
+  campus.num_frames = 250;
+  campus.seed = 21;
+
+  // -- 1. brokering -----------------------------------------------------------
+  std::printf("[1] collaboration brokering\n");
+  const auto corr = collab::count_correlation_matrix(campus);
+  const auto pairs = collab::discover_collaborators(corr, 0.25);
+  std::printf("discovered %zu collaborator pairs from count correlations:", pairs.size());
+  for (const auto& [a, b] : pairs) std::printf(" (C%zu,C%zu)", a, b);
+  std::printf("\n\n");
+
+  // -- 2. collaborative inferencing -------------------------------------------
+  std::printf("[2] individual vs collaborative pipelines\n");
+  const collab::CollabMetrics solo = collab::run_individual(campus);
+  const collab::CollabMetrics together = collab::run_collaborative(campus);
+  std::printf("individual:    accuracy %.1f%%, latency %.0f ms/frame, recall %.2f\n",
+              100.0 * solo.detection_accuracy, solo.mean_latency_ms, solo.recall);
+  std::printf("collaborative: accuracy %.1f%%, latency %.0f ms/frame, recall %.2f\n\n",
+              100.0 * together.detection_accuracy, together.mean_latency_ms,
+              together.recall);
+
+  // -- 3. resilience -----------------------------------------------------------
+  std::printf("[3] rogue camera & trust-based resilience\n");
+  campus.rogue = collab::RogueConfig{3, 4.0};
+  campus.trust_enabled = false;
+  const collab::CollabMetrics attacked = collab::run_collaborative(campus);
+  campus.trust_enabled = true;
+  const collab::CollabMetrics defended = collab::run_collaborative(campus);
+  std::printf("camera C3 injects 4 fake boxes/frame:\n");
+  std::printf("  without trust:  accuracy %.1f%% (precision %.2f)\n",
+              100.0 * attacked.detection_accuracy, attacked.precision);
+  std::printf("  with trust:     accuracy %.1f%% (precision %.2f)\n",
+              100.0 * defended.detection_accuracy, defended.precision);
+  std::printf("Eugene noticed that C3's boxes keep failing local verification and\n"
+              "down-weighted them before fusion (paper §IV-C resiliency service).\n");
+  return 0;
+}

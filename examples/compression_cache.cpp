@@ -1,0 +1,118 @@
+// The smart-refrigerator caching loop (paper §II-B).
+//
+// A fridge camera mostly sees two item classes ("beer and pop bottles").
+// Eugene watches the traffic, detects the frequent set, retrains a reduced
+// model over just those classes + OTHER, and downloads it to the device.
+// Uncommon items are cache misses escalated to the full server model. When
+// the household's habits drift, the controller rebuilds or drops the cache.
+//
+// Build & run:  ./build/examples/compression_cache
+#include <cstdio>
+
+#include "data/synthetic_images.hpp"
+#include "nn/train.hpp"
+#include "reduce/cache.hpp"
+
+using namespace eugene;
+
+namespace {
+
+const char* action_name(reduce::CacheController::Action a) {
+  switch (a) {
+    case reduce::CacheController::Action::Build: return "BUILD";
+    case reduce::CacheController::Action::Rebuild: return "REBUILD";
+    case reduce::CacheController::Action::Drop: return "DROP";
+    default: return "-";
+  }
+}
+
+}  // namespace
+
+int main() {
+  data::SyntheticImageConfig items;  // 10 item classes
+  Rng rng(13);
+
+  // Server-side training data and full model.
+  const data::Dataset train_set = data::generate_images(items, 800, rng);
+  nn::StagedResNetConfig arch;
+  arch.seed = 5;
+  nn::StagedModel server = nn::build_staged_resnet(arch);
+  nn::StagedTrainConfig tcfg;
+  tcfg.epochs = 8;
+  std::printf("training the full server model...\n");
+  nn::StagedTrainer trainer(server, tcfg);
+  trainer.fit(train_set.samples, train_set.labels);
+
+  // The device-side controller watches traffic.
+  reduce::CacheController::Config ctl_cfg;
+  ctl_cfg.coverage = 0.7;
+  ctl_cfg.max_cache_classes = 3;
+  ctl_cfg.decision_window = 40;
+  ctl_cfg.min_hit_rate = 0.4;
+  reduce::CacheController controller(10, ctl_cfg);
+
+  std::optional<reduce::CachedInferenceService> cache_service;
+  auto build_cache = [&](const std::vector<std::size_t>& classes) {
+    std::printf("  -> building device cache for classes {");
+    for (std::size_t c : classes) std::printf(" %zu", c);
+    std::printf(" }\n");
+    reduce::CacheBuildConfig cfg;
+    cfg.architecture.in_channels = 3;
+    cfg.architecture.height = 16;
+    cfg.architecture.width = 16;
+    cfg.architecture.conv_channels = {10, 10};
+    cfg.training.epochs = 15;
+    Rng build_rng(99);
+    reduce::CacheModel model =
+        reduce::build_cache_model(train_set, classes, cfg, build_rng);
+    cache_service.emplace(std::move(model), server, 0.5);
+    controller.mark_built();
+  };
+
+  // Phase 1: beer (2) and pop (6) dominate; phase 2: habits drift to 4 & 8.
+  const std::vector<double> phase1 = {0.02, 0.02, 0.4, 0.02, 0.02,
+                                      0.02, 0.4, 0.02, 0.04, 0.04};
+  const std::vector<double> phase2 = {0.02, 0.02, 0.04, 0.02, 0.4,
+                                      0.02, 0.04, 0.02, 0.4, 0.02};
+  for (int phase = 1; phase <= 2; ++phase) {
+    std::printf("\nphase %d traffic (%s dominate):\n", phase,
+                phase == 1 ? "classes 2 & 6" : "classes 4 & 8");
+    const data::Dataset traffic =
+        data::generate_images_weighted(items, 400, phase == 1 ? phase1 : phase2, rng);
+    std::size_t correct = 0;
+    double latency = 0.0;
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      std::optional<bool> hit;
+      std::size_t label;
+      if (cache_service.has_value()) {
+        const reduce::CachedResult r = cache_service->infer(traffic.samples[i]);
+        hit = r.cache_hit;
+        label = r.label;
+        latency += r.latency_ms;
+      } else {
+        const auto outputs = server.forward_all(traffic.samples[i]);
+        label = outputs.back().predicted_label;
+        latency += 60.0;  // device->server round trip + server inference
+      }
+      correct += label == traffic.labels[i] ? 1 : 0;
+      const auto action = controller.observe(traffic.labels[i], hit);
+      if (action == reduce::CacheController::Action::Build ||
+          action == reduce::CacheController::Action::Rebuild) {
+        std::printf("  controller @%zu: %s\n", i, action_name(action));
+        build_cache(controller.recommended_classes());
+      } else if (action == reduce::CacheController::Action::Drop) {
+        std::printf("  controller @%zu: DROP (traffic too scattered)\n", i);
+        cache_service.reset();
+        controller.mark_dropped();
+      }
+    }
+    std::printf("phase %d: accuracy %.1f%%, mean latency %.1f ms%s\n", phase,
+                100.0 * correct / traffic.size(), latency / traffic.size(),
+                cache_service.has_value() ? " (cache active)" : "");
+    if (cache_service.has_value() &&
+        cache_service->hits() + cache_service->misses() >= 20)
+      std::printf("cache hit rate since last (re)build: %.0f%%\n",
+                  100.0 * cache_service->hit_rate());
+  }
+  return 0;
+}

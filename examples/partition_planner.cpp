@@ -1,0 +1,98 @@
+// Client/server model partitioning (paper §IV-A).
+//
+// A battery-powered camera can run some stages of its staged model locally
+// and offload the rest. Eugene's planner combines the model's per-stage
+// FLOPs / parameter / feature sizes with the *empirical early-exit survival
+// curve* (how often local confidence suffices) and the device / link / server
+// profiles, then picks the split minimizing expected latency. The example
+// prints the full split table for three device classes.
+//
+// Build & run:  ./build/examples/partition_planner
+#include <cstdio>
+
+#include "calib/calibrators.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/train.hpp"
+#include "sched/partition.hpp"
+
+using namespace eugene;
+
+int main() {
+  // Train + calibrate a staged model (abbreviated quickstart).
+  data::SyntheticImageConfig sensor;
+  Rng rng(17);
+  const data::Dataset train_set = data::generate_images(sensor, 900, rng);
+  const data::Dataset calib_set = data::generate_images(sensor, 400, rng);
+  nn::StagedResNetConfig arch;
+  arch.head_hidden = 24;
+  nn::StagedModel model = nn::build_staged_resnet(arch);
+  nn::StagedTrainConfig tcfg;
+  tcfg.epochs = 8;
+  std::printf("training the staged model...\n");
+  nn::StagedTrainer trainer(model, tcfg);
+  trainer.fit(train_set.samples, train_set.labels);
+  calib::calibrate_heads_entropy(model, calib_set);
+
+  // Planner inputs from the real model + real confidence statistics.
+  const auto infos = sched::stage_infos(model, calib_set.samples[0]);
+  const calib::StagedEvaluation eval = calib::evaluate_staged(model, calib_set);
+  const double exit_threshold = 0.85;
+  const auto survival = sched::survival_curve(eval, exit_threshold);
+
+  std::printf("\nmodel stages (exit when local confidence >= %.2f):\n", exit_threshold);
+  for (std::size_t s = 0; s < infos.size(); ++s)
+    std::printf("  stage %zu: %6.1f MFLOPs, %5.1f KiB params, %5.1f KiB features, "
+                "P(still needs more) = %.2f\n",
+                s + 1, infos[s].flops / 1e6, infos[s].param_bytes / 1024.0,
+                infos[s].output_bytes / 1024.0, survival[s]);
+
+  struct DeviceClass {
+    const char* name;
+    sched::PartitionConfig config;
+  };
+  std::vector<DeviceClass> devices;
+  {
+    sched::PartitionConfig weak;  // 8-bit MCU-class node, LoRa-ish uplink
+    weak.device.flops_per_ms = 5e3;
+    weak.device.max_model_bytes = 64 * 1024;
+    weak.server.flops_per_ms = 5e6;
+    weak.link.bytes_per_ms = 20.0;
+    weak.link.rtt_ms = 60.0;
+    weak.input_bytes = 3 * 16 * 16 * 4;
+    devices.push_back({"sensor-node (slow CPU, slow link)", weak});
+
+    sched::PartitionConfig phone = weak;  // smartphone on Wi-Fi
+    phone.device.flops_per_ms = 1e6;
+    phone.device.max_model_bytes = 16u * 1024 * 1024;
+    phone.link.bytes_per_ms = 2000.0;
+    phone.link.rtt_ms = 8.0;
+    devices.push_back({"smartphone (fast CPU, Wi-Fi)", phone});
+
+    sched::PartitionConfig kiosk = phone;  // wired kiosk next to the server
+    kiosk.device.flops_per_ms = 2e5;
+    kiosk.link.bytes_per_ms = 20000.0;
+    kiosk.link.rtt_ms = 1.0;
+    devices.push_back({"kiosk (modest CPU, wired to edge)", kiosk});
+  }
+
+  for (const auto& device : devices) {
+    std::printf("\n%s:\n", device.name);
+    std::printf("  %-6s %10s %9s %10s %10s %12s\n", "split", "device ms", "P(off)",
+                "upload ms", "server ms", "expected ms");
+    const auto plans = sched::evaluate_partitions(infos, survival, device.config);
+    const auto best = sched::plan_partition(infos, survival, device.config);
+    for (const auto& plan : plans) {
+      if (!plan.fits_device) {
+        std::printf("  %-6zu %s\n", plan.split, "(exceeds device model budget)");
+        continue;
+      }
+      std::printf("  %-6zu %10.2f %9.2f %10.2f %10.2f %12.2f%s\n", plan.split,
+                  plan.device_ms, plan.offload_probability, plan.upload_ms,
+                  plan.server_ms, plan.expected_latency_ms,
+                  plan.split == best.split ? "  <= chosen" : "");
+    }
+  }
+  std::printf("\n(split = number of stages cached on the device; 0 = pure "
+              "offload, %zu = fully local)\n", infos.size());
+  return 0;
+}

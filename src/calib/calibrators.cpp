@@ -1,0 +1,232 @@
+#include "calib/calibrators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "calib/ece.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace eugene::calib {
+
+using tensor::Tensor;
+
+std::vector<std::vector<Tensor>> stage_features(nn::StagedModel& model,
+                                                const data::Dataset& dataset) {
+  EUGENE_REQUIRE(!dataset.empty(), "stage_features: empty dataset");
+  std::vector<std::vector<Tensor>> features(model.num_stages());
+  for (auto& f : features) f.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Tensor* current = &dataset.samples[i];
+    for (std::size_t s = 0; s < model.num_stages(); ++s) {
+      features[s].push_back(model.trunk_forward(s, *current, /*training=*/false));
+      current = &features[s].back();
+    }
+  }
+  return features;
+}
+
+void finetune_head(nn::StagedModel& model, std::size_t stage,
+                   const std::vector<Tensor>& features,
+                   std::span<const std::size_t> labels, double alpha,
+                   std::size_t epochs, double learning_rate, std::size_t batch_size) {
+  EUGENE_REQUIRE(batch_size > 0, "finetune_head: batch size must be positive");
+  EUGENE_REQUIRE(features.size() == labels.size(), "finetune_head: size mismatch");
+  EUGENE_REQUIRE(!features.empty(), "finetune_head: empty calibration set");
+  nn::SgdConfig sgd;
+  sgd.learning_rate = learning_rate;
+  sgd.momentum = 0.9;
+  sgd.weight_decay = 0.0;  // calibration should not shrink the head
+  nn::SgdOptimizer optimizer(model.head_params(stage), sgd);
+  Rng shuffle_rng(13 + stage);
+  std::vector<std::size_t> order(features.size());
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::iota(order.begin(), order.end(), 0);
+    shuffle_rng.shuffle(order);
+    std::size_t in_batch = 0;
+    optimizer.zero_grads();
+    for (std::size_t idx : order) {
+      const Tensor logits = model.head_forward(stage, features[idx], /*training=*/true);
+      const nn::LossResult loss =
+          nn::cross_entropy_with_entropy_reg(logits, labels[idx], alpha);
+      model.head_backward(stage, loss.grad_logits);
+      if (++in_batch == batch_size) {
+        optimizer.step(1.0 / static_cast<double>(in_batch));
+        optimizer.zero_grads();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.step(1.0 / static_cast<double>(in_batch));
+      optimizer.zero_grads();
+    }
+  }
+}
+
+void finetune_heads(nn::StagedModel& model, const data::Dataset& calib_set, double alpha,
+                    std::size_t epochs, double learning_rate, std::size_t batch_size) {
+  const auto features = stage_features(model, calib_set);
+  for (std::size_t s = 0; s < model.num_stages(); ++s)
+    finetune_head(model, s, features[s], calib_set.labels, alpha, epochs, learning_rate,
+                  batch_size);
+}
+
+namespace {
+
+/// ECE of one stage's head evaluated on cached features.
+double head_ece(nn::StagedModel& model, std::size_t stage,
+                const std::vector<Tensor>& features,
+                std::span<const std::size_t> labels, std::size_t bins) {
+  std::vector<std::size_t> predicted(features.size());
+  std::vector<std::size_t> truth(labels.begin(), labels.end());
+  std::vector<float> confidence(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const Tensor logits = model.head_forward(stage, features[i], /*training=*/false);
+    const std::vector<float> probs = softmax(logits.data());
+    predicted[i] = argmax(probs);
+    confidence[i] = probs[predicted[i]];
+  }
+  return expected_calibration_error(predicted, truth, confidence, bins);
+}
+
+}  // namespace
+
+std::vector<double> calibrate_heads_entropy(nn::StagedModel& model,
+                                            const data::Dataset& calib_set,
+                                            const EntropyCalibConfig& config) {
+  EUGENE_REQUIRE(!config.alpha_grid.empty(), "calibrate_heads_entropy: empty alpha grid");
+  EUGENE_REQUIRE(calib_set.size() >= 10, "calibrate_heads_entropy: calibration set too small");
+  const auto features = stage_features(model, calib_set);
+
+  // Hold out part of the calibration set for α selection: the heads
+  // fine-tune hard enough on the fit split that in-sample ECE stops
+  // predicting held-out ECE.
+  const std::size_t fit_count = calib_set.size() * 7 / 10;
+  std::vector<std::size_t> fit_labels(calib_set.labels.begin(),
+                                      calib_set.labels.begin() + fit_count);
+  std::vector<std::size_t> val_labels(calib_set.labels.begin() + fit_count,
+                                      calib_set.labels.end());
+
+  std::vector<double> chosen(model.num_stages(), 0.0);
+  for (std::size_t s = 0; s < model.num_stages(); ++s) {
+    const std::vector<Tensor> fit_features(features[s].begin(),
+                                           features[s].begin() + fit_count);
+    const std::vector<Tensor> val_features(features[s].begin() + fit_count,
+                                           features[s].end());
+    const auto head = model.head_params(s);
+    // Snapshot the pre-calibration weights so every α starts equal; the
+    // untouched head is itself a candidate (fine-tuning must earn its keep).
+    std::stringstream initial;
+    nn::save_params(head, initial);
+
+    double best_alpha = 0.0;
+    double best_ece = head_ece(model, s, val_features, val_labels, config.ece_bins);
+    std::stringstream best_weights;
+    nn::save_params(head, best_weights);
+    for (double alpha : config.alpha_grid) {
+      initial.clear();
+      initial.seekg(0);
+      nn::load_params(head, initial);
+      finetune_head(model, s, fit_features, fit_labels, alpha, config.epochs,
+                    config.learning_rate, config.batch_size);
+      const double ece = head_ece(model, s, val_features, val_labels, config.ece_bins);
+      EUGENE_LOG(Debug) << "stage " << s << " alpha=" << alpha << " val ece=" << ece;
+      if (ece < best_ece) {
+        best_ece = ece;
+        best_alpha = alpha;
+        best_weights.str({});
+        best_weights.clear();
+        nn::save_params(head, best_weights);
+      }
+    }
+    best_weights.clear();
+    best_weights.seekg(0);
+    nn::load_params(head, best_weights);
+    chosen[s] = best_alpha;
+    EUGENE_LOG(Info) << "stage " << s << " calibration picked alpha=" << best_alpha
+                     << " (held-out ECE " << best_ece << ")";
+  }
+  return chosen;
+}
+
+namespace {
+
+/// Negative log-likelihood of temperature-scaled logits.
+double nll_at_temperature(const std::vector<Tensor>& logits,
+                          const std::vector<std::size_t>& labels, double temperature) {
+  double nll = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor scaled = logits[i];
+    scaled *= static_cast<float>(1.0 / temperature);
+    const std::vector<float> p = softmax(scaled.data());
+    nll -= std::log(static_cast<double>(p[labels[i]]) + 1e-12);
+  }
+  return nll;
+}
+
+}  // namespace
+
+std::vector<double> fit_temperatures(nn::StagedModel& model,
+                                     const data::Dataset& calib_set) {
+  const auto features = stage_features(model, calib_set);
+  std::vector<double> temps(model.num_stages(), 1.0);
+  for (std::size_t s = 0; s < model.num_stages(); ++s) {
+    std::vector<Tensor> logits;
+    logits.reserve(calib_set.size());
+    for (std::size_t i = 0; i < calib_set.size(); ++i)
+      logits.push_back(model.head_forward(s, features[s][i], /*training=*/false));
+
+    // Golden-section search on log-temperature.
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double lo = std::log(0.05), hi = std::log(10.0);
+    double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+    double f1 = nll_at_temperature(logits, calib_set.labels, std::exp(x1));
+    double f2 = nll_at_temperature(logits, calib_set.labels, std::exp(x2));
+    for (int iter = 0; iter < 50; ++iter) {
+      if (f1 < f2) {
+        hi = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = hi - phi * (hi - lo);
+        f1 = nll_at_temperature(logits, calib_set.labels, std::exp(x1));
+      } else {
+        lo = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = lo + phi * (hi - lo);
+        f2 = nll_at_temperature(logits, calib_set.labels, std::exp(x2));
+      }
+    }
+    temps[s] = std::exp((lo + hi) / 2.0);
+  }
+  return temps;
+}
+
+StagedEvaluation evaluate_with_temperature(nn::StagedModel& model,
+                                           const data::Dataset& dataset,
+                                           const std::vector<double>& temperatures) {
+  EUGENE_REQUIRE(temperatures.size() == model.num_stages(),
+                 "evaluate_with_temperature: one temperature per stage required");
+  const auto features = stage_features(model, dataset);
+  StagedEvaluation eval;
+  eval.records.resize(model.num_stages());
+  for (std::size_t s = 0; s < model.num_stages(); ++s) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      Tensor logits = model.head_forward(s, features[s][i], /*training=*/false);
+      logits *= static_cast<float>(1.0 / temperatures[s]);
+      StageRecord r;
+      r.probs = softmax(logits.data());
+      r.predicted = argmax(r.probs);
+      r.confidence = r.probs[r.predicted];
+      r.truth = dataset.labels[i];
+      eval.records[s].push_back(std::move(r));
+    }
+  }
+  return eval;
+}
+
+}  // namespace eugene::calib

@@ -1,0 +1,90 @@
+#include "calib/ece.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eugene::calib {
+
+std::vector<ReliabilityBin> reliability_diagram(std::span<const std::size_t> predicted,
+                                                std::span<const std::size_t> truth,
+                                                std::span<const float> confidence,
+                                                std::size_t num_bins) {
+  EUGENE_REQUIRE(predicted.size() == truth.size() && truth.size() == confidence.size(),
+                 "reliability_diagram: input size mismatch");
+  EUGENE_REQUIRE(num_bins > 0, "reliability_diagram: need at least one bin");
+
+  std::vector<ReliabilityBin> bins(num_bins);
+  std::vector<double> acc_sum(num_bins, 0.0), conf_sum(num_bins, 0.0);
+  for (std::size_t m = 0; m < num_bins; ++m) {
+    bins[m].lower = static_cast<double>(m) / static_cast<double>(num_bins);
+    bins[m].upper = static_cast<double>(m + 1) / static_cast<double>(num_bins);
+  }
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double c = confidence[i];
+    EUGENE_REQUIRE(c >= 0.0 && c <= 1.0, "reliability_diagram: confidence outside [0,1]");
+    // Bin m covers ((m)/M, (m+1)/M]; confidence 0 lands in the first bin.
+    std::size_t m = c <= 0.0 ? 0
+                             : static_cast<std::size_t>(std::ceil(c * num_bins)) - 1;
+    if (m >= num_bins) m = num_bins - 1;
+    ++bins[m].count;
+    acc_sum[m] += predicted[i] == truth[i] ? 1.0 : 0.0;
+    conf_sum[m] += c;
+  }
+  for (std::size_t m = 0; m < num_bins; ++m) {
+    if (bins[m].count == 0) continue;
+    bins[m].accuracy = acc_sum[m] / static_cast<double>(bins[m].count);
+    bins[m].confidence = conf_sum[m] / static_cast<double>(bins[m].count);
+  }
+  return bins;
+}
+
+double expected_calibration_error(std::span<const std::size_t> predicted,
+                                  std::span<const std::size_t> truth,
+                                  std::span<const float> confidence,
+                                  std::size_t num_bins) {
+  EUGENE_REQUIRE(!predicted.empty(), "ece: empty inputs");
+  const auto bins = reliability_diagram(predicted, truth, confidence, num_bins);
+  const double n = static_cast<double>(predicted.size());
+  double ece = 0.0;
+  for (const auto& bin : bins) {
+    if (bin.count == 0) continue;
+    ece += (static_cast<double>(bin.count) / n) * std::abs(bin.accuracy - bin.confidence);
+  }
+  return ece;
+}
+
+double overall_accuracy(std::span<const std::size_t> predicted,
+                        std::span<const std::size_t> truth) {
+  EUGENE_REQUIRE(predicted.size() == truth.size() && !predicted.empty(),
+                 "overall_accuracy: bad inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == truth[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double overall_confidence(std::span<const float> confidence) {
+  EUGENE_REQUIRE(!confidence.empty(), "overall_confidence: empty input");
+  double sum = 0.0;
+  for (float c : confidence) sum += c;
+  return sum / static_cast<double>(confidence.size());
+}
+
+double suggest_alpha_sign(double accuracy, double confidence, double magnitude) {
+  EUGENE_REQUIRE(magnitude >= 0.0, "suggest_alpha_sign: negative magnitude");
+  // With L = CE + α·H, a positive α *penalizes* entropy (sharper softmax,
+  // higher confidence) and a negative α rewards it (softer, lower
+  // confidence). So: conf < acc (confidence underestimates) → sharpen →
+  // α > 0; conf > acc (overestimates) → soften → α < 0.
+  //
+  // Note: the paper's prose states the opposite mapping ("when the
+  // confidence underestimates the accuracy, we set α < 0"), which is
+  // inconsistent with its own Eq. 4 under gradient descent; we implement
+  // the physically consistent direction. calibrate_heads_entropy() grid
+  // searches both signs regardless, so the system does not depend on
+  // this heuristic being right.
+  return confidence < accuracy ? magnitude : -magnitude;
+}
+
+}  // namespace eugene::calib

@@ -1,0 +1,45 @@
+// Calibration metrics: reliability diagrams (paper Fig. 2) and Expected
+// Calibration Error (paper Eqs. 1–3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eugene::calib {
+
+/// One confidence bin of a reliability diagram.
+struct ReliabilityBin {
+  double lower = 0.0;       ///< bin interval (lower, upper]
+  double upper = 0.0;
+  std::size_t count = 0;    ///< |S_m|
+  double accuracy = 0.0;    ///< acc(S_m), Eq. 1
+  double confidence = 0.0;  ///< conf(S_m), Eq. 2
+};
+
+/// Bins samples by confidence into `num_bins` equal-width intervals and
+/// computes per-bin accuracy and mean confidence.
+std::vector<ReliabilityBin> reliability_diagram(std::span<const std::size_t> predicted,
+                                                std::span<const std::size_t> truth,
+                                                std::span<const float> confidence,
+                                                std::size_t num_bins = 10);
+
+/// Expected Calibration Error, Eq. 3: the |S_m|/N-weighted mean of
+/// |acc(S_m) − conf(S_m)| over bins.
+double expected_calibration_error(std::span<const std::size_t> predicted,
+                                  std::span<const std::size_t> truth,
+                                  std::span<const float> confidence,
+                                  std::size_t num_bins = 10);
+
+/// acc(S): overall fraction correct.
+double overall_accuracy(std::span<const std::size_t> predicted,
+                        std::span<const std::size_t> truth);
+
+/// conf(S): overall mean confidence.
+double overall_confidence(std::span<const float> confidence);
+
+/// Paper's sign rule for Eq. 4: returns a negative α when the model
+/// underestimates (conf < acc) and a positive α when it overestimates.
+double suggest_alpha_sign(double accuracy, double confidence, double magnitude = 0.1);
+
+}  // namespace eugene::calib

@@ -1,0 +1,107 @@
+#include "collab/camera.hpp"
+
+#include <cmath>
+
+namespace eugene::collab {
+namespace {
+
+/// Wraps an angle to (−π, π].
+double wrap_angle(double a) {
+  while (a > 3.14159265358979) a -= 2.0 * 3.14159265358979;
+  while (a <= -3.14159265358979) a += 2.0 * 3.14159265358979;
+  return a;
+}
+
+}  // namespace
+
+Camera::Camera(CameraConfig config, std::size_t id) : config_(config), id_(id) {
+  EUGENE_REQUIRE(config.fov_rad > 0.0 && config.fov_rad < 2.0 * 3.14159265358979,
+                 "Camera: invalid field of view");
+  EUGENE_REQUIRE(config.range_m > 0.0, "Camera: non-positive range");
+}
+
+bool Camera::sees(const Vec2& point) const {
+  const Vec2 rel = point - config_.position;
+  const double dist = norm(rel);
+  if (dist > config_.range_m || dist == 0.0) return false;
+  const double angle = wrap_angle(std::atan2(rel.y, rel.x) - config_.orientation_rad);
+  return std::abs(angle) <= config_.fov_rad / 2.0;
+}
+
+std::size_t Camera::true_count(const std::vector<Person>& people) const {
+  std::size_t count = 0;
+  for (const Person& p : people)
+    if (sees(p.position)) ++count;
+  return count;
+}
+
+bool Camera::occluded(const std::vector<Person>& people, std::size_t index) const {
+  const Vec2 rel = people[index].position - config_.position;
+  const double dist = norm(rel);
+  const double angle = std::atan2(rel.y, rel.x);
+  for (std::size_t j = 0; j < people.size(); ++j) {
+    if (j == index) continue;
+    const Vec2 rel_j = people[j].position - config_.position;
+    const double dist_j = norm(rel_j);
+    if (dist_j >= dist) continue;  // only closer people occlude
+    const double angle_j = std::atan2(rel_j.y, rel_j.x);
+    if (std::abs(wrap_angle(angle - angle_j)) < config_.occlusion_angle_rad) return true;
+  }
+  return false;
+}
+
+std::vector<Detection> Camera::detect(const std::vector<Person>& people, Rng& rng) const {
+  std::vector<Detection> detections;
+  for (std::size_t i = 0; i < people.size(); ++i) {
+    if (!sees(people[i].position)) continue;
+    const double dist = distance(people[i].position, config_.position);
+    double p_detect = config_.detect_base -
+                      config_.detect_range_penalty * (dist / config_.range_m);
+    if (occluded(people, i)) p_detect *= 1.0 - config_.occlusion_miss;
+    p_detect = std::max(0.0, std::min(1.0, p_detect));
+    if (!rng.bernoulli(p_detect)) continue;
+    Detection d;
+    d.position = {people[i].position.x + rng.normal(0.0, config_.position_noise_m),
+                  people[i].position.y + rng.normal(0.0, config_.position_noise_m)};
+    d.camera = id_;
+    d.score = p_detect;
+    d.truth_id = people[i].id;
+    detections.push_back(d);
+  }
+  // False positives: uniform inside the wedge.
+  std::size_t fp = 0;
+  double expected = config_.false_positives_per_frame;
+  while (expected > 0.0) {
+    if (rng.bernoulli(std::min(1.0, expected))) ++fp;
+    expected -= 1.0;
+  }
+  for (std::size_t i = 0; i < fp; ++i) {
+    const double angle = config_.orientation_rad +
+                         rng.uniform(-config_.fov_rad / 2.0, config_.fov_rad / 2.0);
+    const double dist = rng.uniform(1.0, config_.range_m);
+    Detection d;
+    d.position = {config_.position.x + dist * std::cos(angle),
+                  config_.position.y + dist * std::sin(angle)};
+    d.camera = id_;
+    d.score = 0.4;
+    d.is_false_positive = true;
+    detections.push_back(d);
+  }
+  return detections;
+}
+
+double fov_overlap(const Camera& a, const Camera& b, Rng& rng, std::size_t samples) {
+  EUGENE_REQUIRE(samples > 0, "fov_overlap: need samples");
+  std::size_t both = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double angle = a.config().orientation_rad +
+                         rng.uniform(-a.config().fov_rad / 2.0, a.config().fov_rad / 2.0);
+    const double dist = rng.uniform(0.5, a.config().range_m);
+    const Vec2 point{a.config().position.x + dist * std::cos(angle),
+                     a.config().position.y + dist * std::sin(angle)};
+    if (b.sees(point)) ++both;
+  }
+  return static_cast<double>(both) / static_cast<double>(samples);
+}
+
+}  // namespace eugene::collab

@@ -1,0 +1,68 @@
+// Camera model: field-of-view geometry and a MobileNet-SSD detector
+// stand-in with calibrated failure modes (distance decay, occlusion,
+// false positives) — the per-device inference pipeline of paper §IV.
+#pragma once
+
+#include "collab/world.hpp"
+
+namespace eugene::collab {
+
+/// Camera placement and detector quality.
+struct CameraConfig {
+  Vec2 position;
+  double orientation_rad = 0.0;  ///< optical-axis direction
+  double fov_rad = 1.2;          ///< full angular width of the view wedge
+  double range_m = 45.0;         ///< maximum detection distance
+
+  double detect_base = 0.85;     ///< detection probability at zero distance
+  double detect_range_penalty = 0.45;  ///< extra miss probability at full range
+  double occlusion_miss = 0.65;  ///< miss probability when occluded
+  double occlusion_angle_rad = 0.06;  ///< angular proximity that occludes
+  double false_positives_per_frame = 0.15;
+  double position_noise_m = 0.8;  ///< ground-plane estimate noise
+};
+
+/// One detected box, reported in ground-plane coordinates.
+struct Detection {
+  Vec2 position;            ///< estimated ground-plane position
+  std::size_t camera = 0;   ///< producer
+  double score = 1.0;       ///< detector confidence
+  // Evaluation-only fields (never read by the pipelines themselves):
+  bool is_false_positive = false;
+  std::size_t truth_id = 0;  ///< person id when not a false positive
+};
+
+/// A fixed camera with the detector stand-in.
+class Camera {
+ public:
+  Camera(CameraConfig config, std::size_t id);
+
+  /// Whether a ground-plane point lies in this camera's view wedge.
+  bool sees(const Vec2& point) const;
+
+  /// Ground-truth people currently visible (inside the wedge) — the
+  /// denominator of counting accuracy.
+  std::size_t true_count(const std::vector<Person>& people) const;
+
+  /// Runs the detector on the current frame: per visible person a Bernoulli
+  /// detection whose probability decays with distance and occlusion, plus
+  /// Poisson-ish false positives inside the wedge.
+  std::vector<Detection> detect(const std::vector<Person>& people, Rng& rng) const;
+
+  const CameraConfig& config() const { return config_; }
+  std::size_t id() const { return id_; }
+
+ private:
+  /// Is `person` occluded by a closer person at a similar viewing angle?
+  bool occluded(const std::vector<Person>& people, std::size_t index) const;
+
+  CameraConfig config_;
+  std::size_t id_;
+};
+
+/// Approximate ground-truth FoV overlap fraction between two cameras
+/// (Monte-Carlo over camera a's wedge). Used as the brokering oracle.
+double fov_overlap(const Camera& a, const Camera& b, Rng& rng,
+                   std::size_t samples = 2000);
+
+}  // namespace eugene::collab

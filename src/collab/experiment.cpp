@@ -1,0 +1,217 @@
+#include "collab/experiment.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/stats.hpp"
+
+namespace eugene::collab {
+namespace {
+
+/// Match quality of a detection set against ground truth for one camera.
+struct MatchStats {
+  std::size_t covered_people = 0;   ///< distinct visible people detected
+  std::size_t visible_people = 0;
+  std::size_t true_detections = 0;  ///< detections matching a real person
+  std::size_t total_detections = 0;
+};
+
+MatchStats match_detections(const Camera& camera, const std::vector<Detection>& dets,
+                            const std::vector<Person>& people) {
+  MatchStats stats;
+  std::set<std::size_t> covered;
+  for (const Detection& d : dets) {
+    ++stats.total_detections;
+    if (!d.is_false_positive) {
+      ++stats.true_detections;
+      covered.insert(d.truth_id);
+    }
+  }
+  for (const Person& p : people)
+    if (camera.sees(p.position)) ++stats.visible_people;
+  stats.covered_people = covered.size();
+  return stats;
+}
+
+std::vector<Detection> inject_rogue_boxes(const Camera& camera, const RogueConfig& rogue,
+                                          const WorldConfig& world, Rng& rng) {
+  std::vector<Detection> fake;
+  double expected = rogue.injected_per_frame;
+  std::size_t count = 0;
+  while (expected > 0.0) {
+    if (rng.bernoulli(std::min(1.0, expected))) ++count;
+    expected -= 1.0;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    Detection d;
+    d.position = {rng.uniform(0.0, world.width), rng.uniform(0.0, world.height)};
+    d.camera = camera.id();
+    d.score = 0.9;
+    d.is_false_positive = true;
+    fake.push_back(d);
+  }
+  return fake;
+}
+
+std::vector<Camera> build_cameras(const CollabExperimentConfig& config) {
+  EUGENE_REQUIRE(!config.cameras.empty(), "experiment: no cameras configured");
+  std::vector<Camera> cameras;
+  cameras.reserve(config.cameras.size());
+  for (std::size_t i = 0; i < config.cameras.size(); ++i)
+    cameras.emplace_back(config.cameras[i], i);
+  return cameras;
+}
+
+}  // namespace
+
+std::vector<CameraConfig> ring_of_cameras(const WorldConfig& world, std::size_t count,
+                                          double fov_rad, double range_m) {
+  EUGENE_REQUIRE(count > 0, "ring_of_cameras: need at least one camera");
+  std::vector<CameraConfig> cameras(count);
+  const Vec2 center{world.width / 2.0, world.height / 2.0};
+  const double radius = std::max(world.width, world.height) * 0.55;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double angle =
+        2.0 * 3.14159265358979 * static_cast<double>(i) / static_cast<double>(count);
+    cameras[i].position = {center.x + radius * std::cos(angle),
+                           center.y + radius * std::sin(angle)};
+    // Face the world center.
+    cameras[i].orientation_rad = std::atan2(center.y - cameras[i].position.y,
+                                            center.x - cameras[i].position.x);
+    cameras[i].fov_rad = fov_rad;
+    cameras[i].range_m = range_m;
+  }
+  return cameras;
+}
+
+CollabMetrics run_individual(const CollabExperimentConfig& config) {
+  Rng rng(config.seed);
+  World world(config.world, rng);
+  const std::vector<Camera> cameras = build_cameras(config);
+
+  OnlineStats accuracy;
+  std::size_t covered = 0, visible = 0, true_dets = 0, total_dets = 0;
+  for (std::size_t frame = 0; frame < config.num_frames; ++frame) {
+    world.step(rng);
+    for (const Camera& camera : cameras) {
+      std::vector<Detection> dets = camera.detect(world.people(), rng);
+      if (config.rogue.has_value() && camera.id() == config.rogue->rogue_camera) {
+        const auto fake = inject_rogue_boxes(camera, *config.rogue, config.world, rng);
+        dets.insert(dets.end(), fake.begin(), fake.end());
+      }
+      const std::size_t truth = camera.true_count(world.people());
+      accuracy.add(counting_accuracy(dets.size(), truth));
+      const MatchStats m = match_detections(camera, dets, world.people());
+      covered += m.covered_people;
+      visible += m.visible_people;
+      true_dets += m.true_detections;
+      total_dets += m.total_detections;
+    }
+  }
+  CollabMetrics out;
+  out.detection_accuracy = accuracy.mean();
+  out.mean_latency_ms = config.latency.full_pipeline_ms;
+  out.recall = visible == 0 ? 0.0 : static_cast<double>(covered) / visible;
+  out.precision = total_dets == 0 ? 0.0 : static_cast<double>(true_dets) / total_dets;
+  return out;
+}
+
+CollabMetrics run_collaborative(const CollabExperimentConfig& config) {
+  Rng rng(config.seed);
+  World world(config.world, rng);
+  const std::vector<Camera> cameras = build_cameras(config);
+  TrustManager trust(cameras.size());
+
+  OnlineStats accuracy;
+  OnlineStats latency;
+  std::size_t covered = 0, visible = 0, true_dets = 0, total_dets = 0;
+  // Stagger full-pipeline refreshes so one camera refreshes per frame slot.
+  std::vector<std::size_t> since_full(cameras.size());
+  for (std::size_t i = 0; i < cameras.size(); ++i)
+    since_full[i] = i * config.latency.refresh_period / std::max<std::size_t>(1, cameras.size());
+
+  for (std::size_t frame = 0; frame < config.num_frames; ++frame) {
+    world.step(rng);
+    // Every camera produces its local boxes (the guided pipeline still
+    // detects; it is cheaper because peers' boxes seed the search).
+    std::vector<std::vector<Detection>> per_camera(cameras.size());
+    for (std::size_t c = 0; c < cameras.size(); ++c) {
+      per_camera[c] = cameras[c].detect(world.people(), rng);
+      if (config.rogue.has_value() && c == config.rogue->rogue_camera) {
+        const auto fake = inject_rogue_boxes(cameras[c], *config.rogue, config.world, rng);
+        per_camera[c].insert(per_camera[c].end(), fake.begin(), fake.end());
+      }
+    }
+    for (std::size_t c = 0; c < cameras.size(); ++c) {
+      std::vector<Detection> peers;
+      for (std::size_t o = 0; o < cameras.size(); ++o)
+        if (o != c) peers.insert(peers.end(), per_camera[o].begin(), per_camera[o].end());
+      const std::vector<Detection> fused =
+          fuse_detections(cameras[c], per_camera[c], peers, config.fusion,
+                          config.trust_enabled ? &trust : nullptr, rng);
+      const std::size_t truth = cameras[c].true_count(world.people());
+      accuracy.add(counting_accuracy(fused.size(), truth));
+      if (++since_full[c] >= config.latency.refresh_period) {
+        since_full[c] = 0;
+        latency.add(config.latency.full_pipeline_ms);
+      } else {
+        latency.add(config.latency.guided_ms);
+      }
+      const MatchStats m = match_detections(cameras[c], fused, world.people());
+      covered += m.covered_people;
+      visible += m.visible_people;
+      true_dets += m.true_detections;
+      total_dets += m.total_detections;
+    }
+  }
+  CollabMetrics out;
+  out.detection_accuracy = accuracy.mean();
+  out.mean_latency_ms = latency.mean();
+  out.recall = visible == 0 ? 0.0 : static_cast<double>(covered) / visible;
+  out.precision = total_dets == 0 ? 0.0 : static_cast<double>(true_dets) / total_dets;
+  return out;
+}
+
+std::vector<std::vector<double>> count_correlation_matrix(
+    const CollabExperimentConfig& config) {
+  Rng rng(config.seed);
+  World world(config.world, rng);
+  const std::vector<Camera> cameras = build_cameras(config);
+  std::vector<std::vector<double>> counts(cameras.size());
+  for (std::size_t frame = 0; frame < config.num_frames; ++frame) {
+    world.step(rng);
+    for (std::size_t c = 0; c < cameras.size(); ++c)
+      counts[c].push_back(
+          static_cast<double>(cameras[c].detect(world.people(), rng).size()));
+  }
+  const std::size_t n = cameras.size();
+  std::vector<std::vector<double>> corr(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        corr[i][j] = 1.0;
+        continue;
+      }
+      const double mi = mean(counts[i]), mj = mean(counts[j]);
+      double cov = 0.0, vi = 0.0, vj = 0.0;
+      for (std::size_t t = 0; t < counts[i].size(); ++t) {
+        cov += (counts[i][t] - mi) * (counts[j][t] - mj);
+        vi += (counts[i][t] - mi) * (counts[i][t] - mi);
+        vj += (counts[j][t] - mj) * (counts[j][t] - mj);
+      }
+      corr[i][j] = (vi <= 0.0 || vj <= 0.0) ? 0.0 : cov / std::sqrt(vi * vj);
+    }
+  }
+  return corr;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> discover_collaborators(
+    const std::vector<std::vector<double>>& correlation, double threshold) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < correlation.size(); ++i)
+    for (std::size_t j = i + 1; j < correlation.size(); ++j)
+      if (correlation[i][j] >= threshold) pairs.emplace_back(i, j);
+  return pairs;
+}
+
+}  // namespace eugene::collab

@@ -1,0 +1,70 @@
+// Experiment drivers for collaborative inferencing (paper §IV, Table IV):
+// individual vs collaborative pipelines, latency accounting, FoV-overlap
+// brokering, and rogue-camera resilience.
+#pragma once
+
+#include <optional>
+
+#include "collab/fusion.hpp"
+
+namespace eugene::collab {
+
+/// Per-frame processing-latency model (§IV's Movidius numbers): a full
+/// detection+identification DNN pass vs a peer-box-guided refinement.
+struct LatencyModel {
+  double full_pipeline_ms = 550.0;  ///< the paper's ≈550 ms/frame
+  double guided_ms = 25.0;          ///< refinement seeded by shared boxes
+  /// A collaborating camera re-runs the full pipeline every this many frames
+  /// to refresh its tracking state; in between it runs guided refinement.
+  std::size_t refresh_period = 50;
+};
+
+/// Rogue-node injection (§IV-C): one camera adds fabricated boxes.
+struct RogueConfig {
+  std::size_t rogue_camera = 0;
+  double injected_per_frame = 3.0;
+};
+
+/// Experiment setup.
+struct CollabExperimentConfig {
+  WorldConfig world;
+  std::vector<CameraConfig> cameras;
+  FusionConfig fusion;
+  LatencyModel latency;
+  std::size_t num_frames = 300;
+  std::uint64_t seed = 31;
+  std::optional<RogueConfig> rogue;  ///< nullopt = all cameras honest
+  bool trust_enabled = true;         ///< resilience service on/off
+};
+
+/// Aggregated over cameras and frames.
+struct CollabMetrics {
+  double detection_accuracy = 0.0;  ///< mean per-frame counting accuracy
+  double mean_latency_ms = 0.0;
+  double recall = 0.0;     ///< true people covered by a detection
+  double precision = 0.0;  ///< detections matching a true person
+};
+
+/// Places `count` cameras evenly around the world edge, all facing the
+/// center — a PETS-like dense-overlap rig.
+std::vector<CameraConfig> ring_of_cameras(const WorldConfig& world, std::size_t count,
+                                          double fov_rad = 1.2, double range_m = 80.0);
+
+/// Baseline: every camera runs its own full pipeline on every frame.
+CollabMetrics run_individual(const CollabExperimentConfig& config);
+
+/// Collaborative: cameras exchange boxes, fuse trust-weighted, and run the
+/// guided (cheap) pipeline between periodic full refreshes.
+CollabMetrics run_collaborative(const CollabExperimentConfig& config);
+
+/// Collaboration brokering (§IV-C): Pearson correlation of per-frame
+/// detection-count series between camera pairs; pairs above `threshold` are
+/// proposed as collaborators. Returns [i][j] correlations.
+std::vector<std::vector<double>> count_correlation_matrix(
+    const CollabExperimentConfig& config);
+
+/// Pairs whose count correlation exceeds `threshold` (i < j).
+std::vector<std::pair<std::size_t, std::size_t>> discover_collaborators(
+    const std::vector<std::vector<double>>& correlation, double threshold);
+
+}  // namespace eugene::collab

@@ -1,0 +1,102 @@
+#include "collab/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace eugene::collab {
+
+TrustManager::TrustManager(std::size_t num_cameras, double initial_trust)
+    : trust_(num_cameras, initial_trust) {
+  EUGENE_REQUIRE(num_cameras > 0, "TrustManager: no cameras");
+  EUGENE_REQUIRE(initial_trust >= 0.0 && initial_trust <= 1.0,
+                 "TrustManager: trust outside [0,1]");
+}
+
+void TrustManager::observe(std::size_t camera, bool verified) {
+  EUGENE_REQUIRE(camera < trust_.size(), "TrustManager: camera out of range");
+  const double target = verified ? 1.0 : 0.0;
+  trust_[camera] += learning_rate_ * (target - trust_[camera]);
+}
+
+double TrustManager::trust(std::size_t camera) const {
+  EUGENE_REQUIRE(camera < trust_.size(), "TrustManager: camera out of range");
+  return trust_[camera];
+}
+
+Detection remap(const Detection& peer_box, const Camera& /*receiver*/,
+                const FusionConfig& config, Rng& rng) {
+  Detection d = peer_box;
+  d.position.x += rng.normal(0.0, config.remap_noise_m);
+  d.position.y += rng.normal(0.0, config.remap_noise_m);
+  return d;
+}
+
+std::vector<Detection> fuse_detections(const Camera& receiver,
+                                       const std::vector<Detection>& own,
+                                       const std::vector<Detection>& peers,
+                                       const FusionConfig& config,
+                                       TrustManager* trust, Rng& rng) {
+  // Remap and keep only peer boxes inside the receiver's view.
+  std::vector<Detection> usable_peers;
+  for (const Detection& p : peers) {
+    const Detection r = remap(p, receiver, config, rng);
+    if (receiver.sees(r.position)) usable_peers.push_back(r);
+  }
+
+  // Verification for trust: a peer box is corroborated when one of the
+  // receiver's own detections lands within the fusion radius.
+  if (trust != nullptr) {
+    for (const Detection& p : usable_peers) {
+      bool verified = false;
+      for (const Detection& o : own)
+        if (distance(p.position, o.position) <= config.fusion_radius_m) {
+          verified = true;
+          break;
+        }
+      trust->observe(p.camera, verified);
+    }
+  }
+
+  // Greedy radius clustering over own + peer boxes; own boxes seed first so
+  // locally confirmed people never disappear.
+  struct Cluster {
+    Detection representative;
+    bool has_own = false;
+    double peer_trust = 0.0;
+  };
+  std::vector<Cluster> clusters;
+  auto assign = [&](const Detection& d, bool is_own) {
+    for (Cluster& c : clusters) {
+      if (distance(c.representative.position, d.position) <= config.fusion_radius_m) {
+        c.has_own |= is_own;
+        if (!is_own)
+          c.peer_trust += trust != nullptr ? trust->trust(d.camera) : 1.0;
+        return;
+      }
+    }
+    Cluster c;
+    c.representative = d;
+    c.has_own = is_own;
+    if (!is_own) c.peer_trust = trust != nullptr ? trust->trust(d.camera) : 1.0;
+    clusters.push_back(c);
+  };
+  for (const Detection& d : own) assign(d, true);
+  for (const Detection& d : usable_peers) assign(d, false);
+
+  std::vector<Detection> fused;
+  for (const Cluster& c : clusters) {
+    if (c.has_own || c.peer_trust >= config.min_cluster_trust)
+      fused.push_back(c.representative);
+  }
+  return fused;
+}
+
+double counting_accuracy(std::size_t estimated, std::size_t truth) {
+  const double denom = std::max<double>(1.0, static_cast<double>(truth));
+  const double err = std::abs(static_cast<double>(estimated) - static_cast<double>(truth));
+  return clamp(1.0 - err / denom, 0.0, 1.0);
+}
+
+}  // namespace eugene::collab

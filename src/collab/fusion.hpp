@@ -1,0 +1,55 @@
+// Box sharing, remapping, fusion, and trust management — the collaborative
+// pipeline of paper §IV-B and the resilience service of §IV-C.
+#pragma once
+
+#include "collab/camera.hpp"
+
+namespace eugene::collab {
+
+/// Fusion knobs.
+struct FusionConfig {
+  double fusion_radius_m = 3.0;   ///< detections closer than this are one person
+  double remap_noise_m = 0.5;     ///< extra noise added when remapping peer boxes
+  double min_cluster_trust = 0.5; ///< peer-only clusters need this much trust
+};
+
+/// Per-camera trust scores maintained by the resilience service: peer boxes
+/// that keep failing local verification erode their producer's trust
+/// ("proactively uncover faulty operational situations", §IV-C).
+class TrustManager {
+ public:
+  explicit TrustManager(std::size_t num_cameras, double initial_trust = 1.0);
+
+  /// Records whether a box from `camera` was corroborated locally.
+  void observe(std::size_t camera, bool verified);
+
+  double trust(std::size_t camera) const;
+  std::size_t num_cameras() const { return trust_.size(); }
+
+ private:
+  std::vector<double> trust_;
+  double learning_rate_ = 0.08;
+};
+
+/// Remaps a peer detection into the receiving camera's coordinate frame.
+/// Our world already uses a common ground plane (the paper's "suitably
+/// remapped to a common coordinate space"), so remapping only adds the
+/// calibration/transfer noise.
+Detection remap(const Detection& peer_box, const Camera& receiver,
+                const FusionConfig& config, Rng& rng);
+
+/// Fuses a camera's own detections with remapped peer boxes that fall in its
+/// FoV. Greedy radius clustering; each cluster is one person. Peer-only
+/// clusters are kept only if their producers' summed trust passes the
+/// threshold. Also feeds verification outcomes into `trust`.
+std::vector<Detection> fuse_detections(const Camera& receiver,
+                                       const std::vector<Detection>& own,
+                                       const std::vector<Detection>& peers,
+                                       const FusionConfig& config,
+                                       TrustManager* trust, Rng& rng);
+
+/// Per-frame people-counting accuracy: 1 − |estimate − truth| / max(truth, 1),
+/// clamped to [0, 1].
+double counting_accuracy(std::size_t estimated, std::size_t truth);
+
+}  // namespace eugene::collab

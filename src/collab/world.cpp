@@ -1,0 +1,52 @@
+#include "collab/world.hpp"
+
+#include <cmath>
+
+namespace eugene::collab {
+
+double norm(const Vec2& v) { return std::sqrt(v.x * v.x + v.y * v.y); }
+
+double distance(const Vec2& a, const Vec2& b) { return norm(a - b); }
+
+World::World(const WorldConfig& config, Rng& rng) : config_(config) {
+  EUGENE_REQUIRE(config.num_people > 0, "World: need at least one person");
+  EUGENE_REQUIRE(config.width > 0.0 && config.height > 0.0, "World: empty plane");
+  people_.resize(config.num_people);
+  for (std::size_t i = 0; i < people_.size(); ++i) {
+    people_[i].id = i;
+    people_[i].position = {rng.uniform(0.0, config.width), rng.uniform(0.0, config.height)};
+    const double heading = rng.uniform(0.0, 2.0 * 3.14159265358979);
+    people_[i].velocity = {config.speed * std::cos(heading),
+                           config.speed * std::sin(heading)};
+  }
+}
+
+void World::step(Rng& rng) {
+  for (Person& p : people_) {
+    // Rotate heading by Gaussian noise, keep speed roughly constant.
+    const double heading = std::atan2(p.velocity.y, p.velocity.x) +
+                           rng.normal(0.0, config_.turn_stddev);
+    const double speed = config_.speed * (0.7 + 0.6 * rng.uniform());
+    p.velocity = {speed * std::cos(heading), speed * std::sin(heading)};
+    p.position = p.position + p.velocity;
+    // Reflect at the boundary.
+    if (p.position.x < 0.0) {
+      p.position.x = -p.position.x;
+      p.velocity.x = -p.velocity.x;
+    }
+    if (p.position.x > config_.width) {
+      p.position.x = 2.0 * config_.width - p.position.x;
+      p.velocity.x = -p.velocity.x;
+    }
+    if (p.position.y < 0.0) {
+      p.position.y = -p.position.y;
+      p.velocity.y = -p.velocity.y;
+    }
+    if (p.position.y > config_.height) {
+      p.position.y = 2.0 * config_.height - p.position.y;
+      p.velocity.y = -p.velocity.y;
+    }
+  }
+}
+
+}  // namespace eugene::collab

@@ -1,0 +1,60 @@
+// Ground-plane world simulator — the PETS-2009 stand-in (DESIGN.md §2).
+//
+// People random-walk on a bounded 2-D plane; cameras (camera.hpp) observe
+// them with distance- and occlusion-dependent detection failures. Table IV's
+// claims are about what box sharing between overlapping views buys, which
+// this world reproduces without the original video.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eugene::collab {
+
+/// 2-D point/vector on the ground plane (meters).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+};
+
+double norm(const Vec2& v);
+double distance(const Vec2& a, const Vec2& b);
+
+/// One tracked person.
+struct Person {
+  std::size_t id = 0;
+  Vec2 position;
+  Vec2 velocity;
+};
+
+/// World knobs.
+struct WorldConfig {
+  double width = 100.0;
+  double height = 100.0;
+  std::size_t num_people = 10;
+  double speed = 1.2;            ///< mean step length per frame
+  double turn_stddev = 0.5;      ///< heading noise per frame (radians)
+};
+
+/// People random-walking with reflective boundaries.
+class World {
+ public:
+  World(const WorldConfig& config, Rng& rng);
+
+  /// Advances all trajectories one frame.
+  void step(Rng& rng);
+
+  const std::vector<Person>& people() const { return people_; }
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  WorldConfig config_;
+  std::vector<Person> people_;
+};
+
+}  // namespace eugene::collab

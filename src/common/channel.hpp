@@ -1,0 +1,79 @@
+// In-memory multi-producer/multi-consumer channel.
+//
+// The paper's workers report end-of-stage confidence to the user-space
+// scheduler over Linux named pipes. Eugene abstracts that hop behind a
+// channel: this header provides the hermetic in-memory implementation used by
+// tests and the live threaded mode; fifo_channel.hpp provides the POSIX FIFO
+// implementation that mirrors the paper's transport byte-for-byte.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace eugene {
+
+/// Blocking unbounded MPMC queue with close semantics.
+/// After close(), sends are rejected and receives drain remaining items then
+/// return std::nullopt.
+template <typename T>
+class Channel {
+ public:
+  /// Enqueues a value. Returns false if the channel is closed.
+  bool send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking receive; std::nullopt when nothing is pending.
+  std::optional<T> try_receive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Marks the channel closed and wakes all blocked receivers.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace eugene

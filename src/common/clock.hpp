@@ -1,0 +1,71 @@
+// Time sources: a wall-clock stopwatch for profiling and a virtual clock for
+// the discrete-event scheduler simulation (DESIGN.md §5 "Real model,
+// simulated time").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace eugene {
+
+/// Wall-clock stopwatch with millisecond/microsecond readouts.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_us() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+  double elapsed_s() const { return elapsed_us() / 1.0e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Abstract time source so schedulers can run against either wall time or
+/// simulated time with the same code.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds (origin is implementation-defined).
+  virtual double now_ms() const = 0;
+};
+
+/// Real time, anchored at construction.
+class WallClock final : public Clock {
+ public:
+  double now_ms() const override { return watch_.elapsed_ms(); }
+
+ private:
+  Stopwatch watch_;
+};
+
+/// Manually advanced time for deterministic discrete-event simulation.
+class VirtualClock final : public Clock {
+ public:
+  double now_ms() const override { return now_ms_; }
+
+  /// Moves time forward; rewinding is a bug.
+  void advance_to(double t_ms) {
+    EUGENE_CHECK(t_ms >= now_ms_, "VirtualClock cannot rewind");
+    now_ms_ = t_ms;
+  }
+
+  void advance_by(double dt_ms) {
+    EUGENE_REQUIRE(dt_ms >= 0.0, "advance_by: negative delta");
+    now_ms_ += dt_ms;
+  }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace eugene

@@ -1,0 +1,129 @@
+#include "common/fifo_channel.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace eugene {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+FifoWriter::FifoWriter(const std::string& path) {
+  // Create the FIFO if it does not exist yet so writer and reader can come
+  // up in either order (mkfifo is idempotent modulo EEXIST).
+  if (::mkfifo(path.c_str(), 0600) != 0) {
+    EUGENE_REQUIRE(errno == EEXIST, "FifoWriter: mkfifo failed for " + path + ": " +
+                                        std::strerror(errno));
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY);
+  EUGENE_REQUIRE(fd_ >= 0, "FifoWriter: cannot open " + path + ": " +
+                               std::strerror(errno));
+}
+
+FifoWriter::~FifoWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FifoWriter::write_frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 4);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // reader gone (EPIPE) or other terminal error
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+FifoReader::FifoReader(const std::string& path) : path_(path) {
+  if (::mkfifo(path.c_str(), 0600) == 0) {
+    created_ = true;
+  } else {
+    EUGENE_REQUIRE(errno == EEXIST,
+                   "FifoReader: mkfifo failed for " + path + ": " +
+                       std::strerror(errno));
+  }
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  EUGENE_REQUIRE(fd_ >= 0, "FifoReader: cannot open " + path + ": " +
+                               std::strerror(errno));
+}
+
+FifoReader::~FifoReader() {
+  if (fd_ >= 0) ::close(fd_);
+  if (created_) ::unlink(path_.c_str());
+}
+
+bool FifoReader::read_exact(std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd_, buf + got, n - got);
+    if (r == 0) return false;  // EOF: all writers closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      EUGENE_CHECK(false, std::string("FifoReader read error: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FifoReader::read_frame() {
+  std::uint8_t header[4];
+  if (!read_exact(header, 4)) return std::nullopt;
+  const std::uint32_t len = get_u32(header);
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !read_exact(payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+std::vector<std::uint8_t> StageReport::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  put_u32(out, task_id);
+  put_u32(out, stage);
+  put_u32(out, predicted_label);
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(confidence));
+  std::memcpy(&bits, &confidence, sizeof(bits));
+  put_u32(out, bits);
+  return out;
+}
+
+std::optional<StageReport> StageReport::decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != 16) return std::nullopt;
+  StageReport r;
+  r.task_id = get_u32(bytes.data());
+  r.stage = get_u32(bytes.data() + 4);
+  r.predicted_label = get_u32(bytes.data() + 8);
+  const std::uint32_t bits = get_u32(bytes.data() + 12);
+  std::memcpy(&r.confidence, &bits, sizeof(r.confidence));
+  return r;
+}
+
+}  // namespace eugene

@@ -1,0 +1,72 @@
+// POSIX named-pipe (FIFO) message transport.
+//
+// The paper: "The confidence in classification will then be sent to our
+// user-level scheduler through a named pipe in linux." This class reproduces
+// that transport: length-prefixed binary frames over a mkfifo() pipe, one
+// writer end per worker and one reader end at the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eugene {
+
+/// Writer end of a named pipe carrying length-prefixed frames.
+class FifoWriter {
+ public:
+  /// Opens the FIFO at `path` for writing (blocks until a reader exists).
+  explicit FifoWriter(const std::string& path);
+  ~FifoWriter();
+
+  FifoWriter(const FifoWriter&) = delete;
+  FifoWriter& operator=(const FifoWriter&) = delete;
+
+  /// Writes one frame: 4-byte little-endian length then payload.
+  /// Returns false if the pipe broke (reader gone).
+  bool write_frame(const std::vector<std::uint8_t>& payload);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reader end of a named pipe carrying length-prefixed frames.
+class FifoReader {
+ public:
+  /// Creates the FIFO at `path` if needed and opens it for reading.
+  explicit FifoReader(const std::string& path);
+  ~FifoReader();
+
+  FifoReader(const FifoReader&) = delete;
+  FifoReader& operator=(const FifoReader&) = delete;
+
+  /// Blocks for the next frame; std::nullopt on EOF (all writers closed).
+  std::optional<std::vector<std::uint8_t>> read_frame();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Reads exactly n bytes; false on EOF.
+  bool read_exact(std::uint8_t* buf, std::size_t n);
+
+  std::string path_;
+  int fd_ = -1;
+  bool created_ = false;
+};
+
+/// Serializes the worker→scheduler end-of-stage report used by the live
+/// scheduler mode (task id, finished stage, predicted label, confidence).
+struct StageReport {
+  std::uint32_t task_id = 0;
+  std::uint32_t stage = 0;
+  std::uint32_t predicted_label = 0;
+  float confidence = 0.0f;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<StageReport> decode(const std::vector<std::uint8_t>& bytes);
+
+  bool operator==(const StageReport&) const = default;
+};
+
+}  // namespace eugene

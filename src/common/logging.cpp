@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace eugene {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default:              return "?????";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= log_level() && level != LogLevel::Off), level_(level) {
+  if (!enabled_) return;
+  // Keep only the basename so log lines stay short.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  stream_ << '[' << tag(level_) << "] " << file << ':' << line << ' ';
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << stream_.str() << '\n';
+}
+
+}  // namespace detail
+}  // namespace eugene

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage: EUGENE_LOG(Info) << "trained " << n << " epochs";
+// The global level defaults to Warn so tests and benches stay quiet; examples
+// raise it to Info.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace eugene {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the minimum severity that is emitted. Thread-safe.
+void set_log_level(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel log_level();
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with a timestamp and level tag)
+/// on destruction. Created by the EUGENE_LOG macro, never directly.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace eugene
+
+#define EUGENE_LOG(severity)                                          \
+  ::eugene::detail::LogLine(::eugene::LogLevel::severity, __FILE__, __LINE__)

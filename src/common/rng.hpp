@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// Every stochastic Eugene component takes an explicit `Rng&` so experiments
+// are reproducible run-to-run (DESIGN.md §5 "Determinism first").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eugene {
+
+/// A seeded pseudo-random source with convenience samplers.
+/// Not thread-safe: share one per thread, or split() per worker.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    EUGENE_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    EUGENE_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    EUGENE_REQUIRE(stddev >= 0.0, "normal: stddev must be non-negative");
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    EUGENE_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed inter-arrival time with the given rate.
+  double exponential(double rate) {
+    EUGENE_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Index drawn from a discrete distribution proportional to `weights`.
+  std::size_t categorical(const std::vector<double>& weights) {
+    EUGENE_REQUIRE(!weights.empty(), "categorical: empty weights");
+    std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// Derives an independent child generator; the parent advances one draw.
+  Rng split() { return Rng(engine_()); }
+
+  /// Exposes the engine for use with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace eugene

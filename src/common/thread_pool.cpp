@@ -1,0 +1,40 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace eugene {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  EUGENE_REQUIRE(num_threads > 0, "ThreadPool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace eugene

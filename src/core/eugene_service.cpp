@@ -1,0 +1,114 @@
+#include "core/eugene_service.hpp"
+
+#include <algorithm>
+
+#include "calib/ece.hpp"
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "nn/train.hpp"
+
+namespace eugene::core {
+
+using tensor::Tensor;
+
+std::size_t EugeneService::train(const std::string& name, const data::Dataset& train_set,
+                                 const nn::StagedResNetConfig& architecture,
+                                 const nn::StagedTrainConfig& training) {
+  EUGENE_REQUIRE(!train_set.empty(), "EugeneService::train: empty training set");
+  nn::StagedModel model = nn::build_staged_resnet(architecture);
+  nn::StagedTrainer trainer(model, training);
+  trainer.fit(train_set.samples, train_set.labels);
+  EUGENE_LOG(Info) << "trained model '" << name << "' (" << model.num_stages()
+                   << " stages)";
+  return registry_.add(name, std::move(model));
+}
+
+std::size_t EugeneService::register_model(const std::string& name, nn::StagedModel model) {
+  return registry_.add(name, std::move(model));
+}
+
+data::Dataset EugeneService::label(const data::Dataset& labeled_seed,
+                                   const data::Dataset& unlabeled,
+                                   const labeling::SelfTrainingLabeler::ModelFactory& factory,
+                                   const labeling::SelfTrainingConfig& config,
+                                   labeling::LabelingReport* report) {
+  labeling::SelfTrainingLabeler labeler(factory, config);
+  return labeler.run(labeled_seed, unlabeled, report);
+}
+
+reduce::CacheModel EugeneService::build_device_cache(
+    const data::Dataset& train_set, const std::vector<std::size_t>& frequent_classes,
+    const reduce::CacheBuildConfig& config) {
+  Rng rng(config.architecture.seed + 17);
+  return reduce::build_cache_model(train_set, frequent_classes, config, rng);
+}
+
+StageProfile EugeneService::profile(std::size_t handle, const tensor::Shape& input_shape,
+                                    const profile::TimingConfig& timing) {
+  serving::ModelEntry& entry = registry_.entry(handle);
+  nn::StagedModel& model = entry.model;
+  Rng rng(timing.seed);
+  const Tensor input = Tensor::randn(input_shape, rng);
+
+  StageProfile result;
+  result.stage_ms.resize(model.num_stages());
+  result.stage_flops.resize(model.num_stages());
+  for (std::size_t s = 0; s < model.num_stages(); ++s)
+    result.stage_flops[s] = model.stage_flops(s);
+
+  std::vector<std::vector<double>> samples(model.num_stages());
+  for (std::size_t rep = 0; rep < timing.warmup + timing.repeats; ++rep) {
+    const Tensor* current = &input;
+    nn::StageOutput out;
+    for (std::size_t s = 0; s < model.num_stages(); ++s) {
+      Stopwatch watch;
+      out = model.run_stage(s, *current);
+      const double ms = watch.elapsed_ms();
+      if (rep >= timing.warmup) samples[s].push_back(ms);
+      current = &out.features;
+    }
+  }
+  for (std::size_t s = 0; s < model.num_stages(); ++s) {
+    std::sort(samples[s].begin(), samples[s].end());
+    result.stage_ms[s] = samples[s][samples[s].size() / 2];
+  }
+  entry.costs.stage_ms = result.stage_ms;
+  return result;
+}
+
+CalibrationReport EugeneService::calibrate(std::size_t handle,
+                                           const data::Dataset& calib_set,
+                                           const calib::EntropyCalibConfig& config) {
+  serving::ModelEntry& entry = registry_.entry(handle);
+  CalibrationReport report;
+  report.stage_alpha = calib::calibrate_heads_entropy(entry.model, calib_set, config);
+
+  const calib::StagedEvaluation eval = calib::evaluate_staged(entry.model, calib_set);
+  report.stage_ece.resize(eval.num_stages());
+  for (std::size_t s = 0; s < eval.num_stages(); ++s)
+    report.stage_ece[s] = calib::expected_calibration_error(
+        eval.predicted(s), eval.truth(s), eval.confidence(s), config.ece_bins);
+
+  entry.curves.fit(eval);
+  entry.calibration_alpha = report.stage_alpha;
+  entry.calibrated = true;
+  return report;
+}
+
+std::vector<serving::InferenceResponse> EugeneService::infer_batch(
+    std::size_t handle, const std::vector<serving::InferenceRequest>& requests,
+    const serving::ServerConfig& config) {
+  serving::InferenceServer server(registry_.entry(handle), config);
+  return server.process_batch(requests);
+}
+
+serving::InferenceResponse EugeneService::infer(std::size_t handle, const Tensor& input,
+                                                double early_exit_confidence) {
+  serving::ServerConfig config;
+  config.early_exit_confidence = early_exit_confidence;
+  serving::InferenceRequest request;
+  request.input = input;
+  return infer_batch(handle, {request}, config).front();
+}
+
+}  // namespace eugene::core

@@ -1,0 +1,94 @@
+// EugeneService — the facade over the whole service suite, mapping the
+// paper's §II taxonomy onto one object:
+//
+//   train()        §II-A  train a staged model from client data
+//   label()        §II-A  semi-supervised labeling of client data
+//   reduce/cache   §II-B  via build_device_cache()
+//   profile()      §II-C  execution profiling of the deployed model
+//   calibrate()    §II-D  confidence calibration + confidence-curve fitting
+//   infer()/batch  §II-E + §III  utility-scheduled run-time inference
+//
+// Models live in a registry; handles are returned by train() (or
+// register_model() for externally trained models).
+#pragma once
+
+#include "calib/calibrators.hpp"
+#include "labeling/self_training.hpp"
+#include "profile/timing.hpp"
+#include "reduce/cache.hpp"
+#include "serving/server.hpp"
+
+namespace eugene::core {
+
+/// Outcome of calibrate(): the chosen Eq. 4 α per stage and the per-stage
+/// ECE after calibration.
+struct CalibrationReport {
+  std::vector<double> stage_alpha;
+  std::vector<double> stage_ece;
+};
+
+/// Per-stage profiling result.
+struct StageProfile {
+  std::vector<double> stage_ms;     ///< measured median forward time
+  std::vector<double> stage_flops;  ///< analytic FLOPs
+};
+
+/// The Eugene deep-intelligence service.
+class EugeneService {
+ public:
+  EugeneService() = default;
+
+  // ---- §II-A: training --------------------------------------------------
+  /// Trains a staged ResNet on client data and registers it. Returns the
+  /// model handle.
+  std::size_t train(const std::string& name, const data::Dataset& train_set,
+                    const nn::StagedResNetConfig& architecture,
+                    const nn::StagedTrainConfig& training);
+
+  /// Registers an externally trained model.
+  std::size_t register_model(const std::string& name, nn::StagedModel model);
+
+  // ---- §II-A: labeling ----------------------------------------------------
+  /// Labels an unlabeled pool using a small labeled seed set (self-training
+  /// with a disagreement discriminator; see labeling/self_training.hpp).
+  data::Dataset label(const data::Dataset& labeled_seed, const data::Dataset& unlabeled,
+                      const labeling::SelfTrainingLabeler::ModelFactory& factory,
+                      const labeling::SelfTrainingConfig& config,
+                      labeling::LabelingReport* report = nullptr);
+
+  // ---- §II-B: model reduction & caching -----------------------------------
+  /// Builds a reduced cache model for a device from the traffic's frequent
+  /// classes (paper's smart-refrigerator scenario).
+  reduce::CacheModel build_device_cache(const data::Dataset& train_set,
+                                        const std::vector<std::size_t>& frequent_classes,
+                                        const reduce::CacheBuildConfig& config);
+
+  // ---- §II-C: execution profiling -----------------------------------------
+  /// Measures real per-stage execution times of a registered model and
+  /// installs them as the model's stage cost model. Returns the profile.
+  StageProfile profile(std::size_t handle, const tensor::Shape& input_shape,
+                       const profile::TimingConfig& timing = {});
+
+  // ---- §II-D: calibration / result quality --------------------------------
+  /// Entropy-calibrates the model's heads (Eq. 4) on `calib_set`, fits the
+  /// GP confidence-curve model, and marks the model serve-ready.
+  CalibrationReport calibrate(std::size_t handle, const data::Dataset& calib_set,
+                              const calib::EntropyCalibConfig& config = {});
+
+  // ---- §II-E + §III: run-time inference -----------------------------------
+  /// Schedules a batch of concurrent requests on the model.
+  std::vector<serving::InferenceResponse> infer_batch(
+      std::size_t handle, const std::vector<serving::InferenceRequest>& requests,
+      const serving::ServerConfig& config);
+
+  /// Single-input convenience wrapper (default service class, no deadline).
+  serving::InferenceResponse infer(std::size_t handle, const tensor::Tensor& input,
+                                   double early_exit_confidence = 0.92);
+
+  serving::ModelRegistry& registry() { return registry_; }
+
+ private:
+  serving::ModelRegistry registry_;
+};
+
+}  // namespace eugene::core

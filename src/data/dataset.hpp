@@ -1,0 +1,65 @@
+// Dataset containers shared by the synthetic generators and every consumer
+// (training, calibration, scheduling experiments).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eugene::data {
+
+/// A labeled dataset of tensors (images or feature vectors).
+/// `difficulty` is the generator's ground-truth hardness knob per sample
+/// (0 = prototypical, 1 = maximally corrupted); kept for analysis, never
+/// shown to models.
+struct Dataset {
+  std::vector<tensor::Tensor> samples;
+  std::vector<std::size_t> labels;
+  std::vector<double> difficulty;
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+
+  void push(tensor::Tensor sample, std::size_t label, double diff) {
+    samples.push_back(std::move(sample));
+    labels.push_back(label);
+    difficulty.push_back(diff);
+  }
+
+  /// Appends all of `other`.
+  void append(const Dataset& other) {
+    samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+    difficulty.insert(difficulty.end(), other.difficulty.begin(), other.difficulty.end());
+  }
+};
+
+/// Splits a dataset at `first_count` samples: [0, first_count) and the rest.
+inline std::pair<Dataset, Dataset> split(const Dataset& d, std::size_t first_count) {
+  EUGENE_REQUIRE(first_count <= d.size(), "split: first_count exceeds dataset size");
+  Dataset a, b;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i < first_count)
+      a.push(d.samples[i], d.labels[i], d.difficulty[i]);
+    else
+      b.push(d.samples[i], d.labels[i], d.difficulty[i]);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Returns the subset whose labels appear in `keep` (used by the caching
+/// service to retrain on the frequent-class subset, paper §II-B).
+inline Dataset filter_labels(const Dataset& d, const std::vector<std::size_t>& keep) {
+  Dataset out;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    for (std::size_t k : keep)
+      if (d.labels[i] == k) {
+        out.push(d.samples[i], d.labels[i], d.difficulty[i]);
+        break;
+      }
+  return out;
+}
+
+}  // namespace eugene::data

@@ -1,0 +1,89 @@
+#include "data/synthetic_images.hpp"
+
+#include <cmath>
+
+namespace eugene::data {
+
+using tensor::Tensor;
+
+Tensor class_prototype(const SyntheticImageConfig& config, std::size_t label) {
+  EUGENE_REQUIRE(label < config.num_classes, "class_prototype: label out of range");
+  // All prototype parameters derive deterministically from (seed, label) so
+  // independently generated train/test sets share the same class structure.
+  Rng rng(config.prototype_seed * 1315423911u + label * 2654435761u);
+  const double fx = rng.uniform(0.5, 2.5);
+  const double fy = rng.uniform(0.5, 2.5);
+  const double phase = rng.uniform(0.0, 6.28318);
+  const double blob_cx = rng.uniform(0.2, 0.8) * static_cast<double>(config.width);
+  const double blob_cy = rng.uniform(0.2, 0.8) * static_cast<double>(config.height);
+  const double blob_r = rng.uniform(0.15, 0.3) *
+                        static_cast<double>(std::min(config.width, config.height));
+
+  Tensor img({config.channels, config.height, config.width});
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    // Per-channel orientation shift keeps channels informative but distinct.
+    const double channel_phase = phase + static_cast<double>(c) * 2.0943951;  // 2π/3
+    const double gain = rng.uniform(0.6, 1.0);
+    for (std::size_t y = 0; y < config.height; ++y) {
+      for (std::size_t x = 0; x < config.width; ++x) {
+        const double grating =
+            std::sin(fx * static_cast<double>(x) * 0.7 + channel_phase) *
+            std::cos(fy * static_cast<double>(y) * 0.7 - channel_phase);
+        const double dx = static_cast<double>(x) - blob_cx;
+        const double dy = static_cast<double>(y) - blob_cy;
+        const double blob = std::exp(-(dx * dx + dy * dy) / (2.0 * blob_r * blob_r));
+        img.at(c, y, x) = static_cast<float>(gain * (0.6 * grating + 0.8 * blob));
+      }
+    }
+  }
+  return img;
+}
+
+Tensor sample_image(const SyntheticImageConfig& config, std::size_t label,
+                    double difficulty, Rng& rng) {
+  EUGENE_REQUIRE(difficulty >= 0.0 && difficulty <= 1.0,
+                 "sample_image: difficulty outside [0,1]");
+  const Tensor proto = class_prototype(config, label);
+  // Distractor: a different class, so hard samples sit near decision
+  // boundaries rather than just being noisy.
+  std::size_t distractor = label;
+  if (config.num_classes > 1) {
+    distractor = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(config.num_classes) - 2));
+    if (distractor >= label) ++distractor;
+  }
+  const Tensor other = class_prototype(config, distractor);
+
+  const double mix = config.distractor_strength * difficulty;
+  const double noise = config.noise_stddev * (0.4 + 1.6 * difficulty);
+  Tensor img(proto.shape());
+  const float* p = proto.raw();
+  const float* o = other.raw();
+  float* out = img.raw();
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    out[i] = static_cast<float>((1.0 - mix) * p[i] + mix * o[i] + rng.normal(0.0, noise));
+  }
+  return img;
+}
+
+Dataset generate_images(const SyntheticImageConfig& config, std::size_t count, Rng& rng) {
+  std::vector<double> uniform(config.num_classes, 1.0);
+  return generate_images_weighted(config, count, uniform, rng);
+}
+
+Dataset generate_images_weighted(const SyntheticImageConfig& config, std::size_t count,
+                                 const std::vector<double>& class_weights, Rng& rng) {
+  EUGENE_REQUIRE(class_weights.size() == config.num_classes,
+                 "generate_images_weighted: weights size mismatch");
+  Dataset out;
+  out.samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = rng.categorical(class_weights);
+    const double u = rng.uniform(0.0, 1.0);
+    const double difficulty = std::pow(u, config.difficulty_skew);
+    out.push(sample_image(config, label, difficulty, rng), label, difficulty);
+  }
+  return out;
+}
+
+}  // namespace eugene::data

@@ -1,0 +1,53 @@
+// Procedural 10-class image generator — the CIFAR-10 stand-in (DESIGN.md §2).
+//
+// Each class has a deterministic prototype (class-specific gratings plus a
+// positioned blob). A sample mixes its class prototype with a distractor
+// class's prototype and Gaussian noise, weighted by a per-sample *difficulty*
+// drawn from a configurable distribution:
+//
+//   x = (1 − d)·proto[y] + d·mix·proto[y'] + σ(d)·noise
+//
+// Low-difficulty samples are confidently classifiable by a shallow stage;
+// high-difficulty samples need the full network — exactly the property the
+// paper's staged scheduler exploits.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace eugene::data {
+
+/// Generator parameters.
+struct SyntheticImageConfig {
+  std::size_t num_classes = 10;
+  std::size_t channels = 3;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  /// Base Gaussian noise stddev; actual noise grows with difficulty.
+  double noise_stddev = 0.25;
+  /// Fraction of distractor-class signal blended in at difficulty 1.
+  double distractor_strength = 0.55;
+  /// Beta-like shape of the difficulty distribution: 1 = uniform; >1 skews
+  /// easy-heavy (d = u^difficulty_skew for u ~ U[0,1]).
+  double difficulty_skew = 1.3;
+  /// Seed for the class prototypes (not the per-sample draws).
+  std::uint64_t prototype_seed = 2024;
+};
+
+/// Deterministic prototype image of one class.
+tensor::Tensor class_prototype(const SyntheticImageConfig& config, std::size_t label);
+
+/// Draws one sample of class `label` with the given difficulty in [0, 1].
+tensor::Tensor sample_image(const SyntheticImageConfig& config, std::size_t label,
+                            double difficulty, Rng& rng);
+
+/// Generates `count` samples with labels uniform over classes and difficulty
+/// from the configured distribution.
+Dataset generate_images(const SyntheticImageConfig& config, std::size_t count, Rng& rng);
+
+/// Generates samples whose labels follow `class_weights` (used by the
+/// caching experiments where a few classes dominate, paper §II-B).
+Dataset generate_images_weighted(const SyntheticImageConfig& config, std::size_t count,
+                                 const std::vector<double>& class_weights, Rng& rng);
+
+}  // namespace eugene::data

@@ -1,0 +1,61 @@
+#include "data/timeseries.hpp"
+
+#include <cmath>
+
+namespace eugene::data {
+
+using tensor::Tensor;
+
+Tensor series_prototype(const TimeSeriesConfig& config, std::size_t label) {
+  EUGENE_REQUIRE(label < config.num_classes, "series_prototype: label out of range");
+  Rng rng(config.prototype_seed * 40503u + label * 9176u + 1u);
+  Tensor out({config.channels, config.length});
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    const double freq = rng.uniform(1.0, 6.0);
+    const double amp = rng.uniform(0.5, 1.2);
+    const double phase = rng.uniform(0.0, 6.28318);
+    const double harmonic = rng.uniform(0.1, 0.5);
+    for (std::size_t t = 0; t < config.length; ++t) {
+      const double x = static_cast<double>(t) / static_cast<double>(config.length);
+      out.at(c, t) = static_cast<float>(amp * std::sin(2.0 * 3.14159265 * freq * x + phase) +
+                                        harmonic * std::sin(4.0 * 3.14159265 * freq * x));
+    }
+  }
+  return out;
+}
+
+Tensor sample_series(const TimeSeriesConfig& config, std::size_t label, double difficulty,
+                     Rng& rng) {
+  EUGENE_REQUIRE(difficulty >= 0.0 && difficulty <= 1.0,
+                 "sample_series: difficulty outside [0,1]");
+  const Tensor proto = series_prototype(config, label);
+  Tensor out(proto.shape());
+  const double noise = config.noise_stddev * (0.4 + 1.6 * difficulty);
+  const double drift_amp = 0.3 * difficulty;
+  const double drift_phase = rng.uniform(0.0, 6.28318);
+  const float* p = proto.raw();
+  float* o = out.raw();
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    for (std::size_t t = 0; t < config.length; ++t) {
+      const double x = static_cast<double>(t) / static_cast<double>(config.length);
+      const double drift = drift_amp * std::sin(2.0 * 3.14159265 * x + drift_phase);
+      const std::size_t i = c * config.length + t;
+      o[i] = static_cast<float>(p[i] + drift + rng.normal(0.0, noise));
+    }
+  }
+  return out;
+}
+
+Dataset generate_series(const TimeSeriesConfig& config, std::size_t count, Rng& rng) {
+  Dataset out;
+  out.samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(config.num_classes) - 1));
+    const double difficulty = std::pow(rng.uniform(0.0, 1.0), config.difficulty_skew);
+    out.push(sample_series(config, label, difficulty, rng), label, difficulty);
+  }
+  return out;
+}
+
+}  // namespace eugene::data

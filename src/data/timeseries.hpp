@@ -1,0 +1,32 @@
+// Multichannel time-series generator — the DeepSense-style sensor-fusion
+// workload (paper §II-A). Each class is a distinct multi-sensor signature
+// (per-channel frequency/amplitude/phase template); samples add drift and
+// noise proportional to difficulty.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace eugene::data {
+
+/// Generator parameters for sensor time series.
+struct TimeSeriesConfig {
+  std::size_t num_classes = 6;
+  std::size_t channels = 4;   ///< e.g. 3-axis accelerometer + 1 gyro magnitude
+  std::size_t length = 64;    ///< samples per window
+  double noise_stddev = 0.2;
+  double difficulty_skew = 1.3;
+  std::uint64_t prototype_seed = 77;
+};
+
+/// Deterministic per-class multichannel template of shape [channels, length].
+tensor::Tensor series_prototype(const TimeSeriesConfig& config, std::size_t label);
+
+/// One sample of class `label` at the given difficulty.
+tensor::Tensor sample_series(const TimeSeriesConfig& config, std::size_t label,
+                             double difficulty, Rng& rng);
+
+/// Generates `count` labeled windows with uniform class balance.
+Dataset generate_series(const TimeSeriesConfig& config, std::size_t count, Rng& rng);
+
+}  // namespace eugene::data

@@ -1,0 +1,91 @@
+#include "gp/confidence_curve.hpp"
+
+#include "common/stats.hpp"
+
+namespace eugene::gp {
+
+std::size_t ConfidenceCurveModel::pair_index(std::size_t from_stage,
+                                             std::size_t to_stage) const {
+  EUGENE_REQUIRE(from_stage < to_stage && to_stage < num_stages_,
+                 "ConfidenceCurveModel: invalid stage pair");
+  // Dense index over ordered pairs (l, l'), l < l'.
+  std::size_t idx = 0;
+  for (std::size_t f = 0; f < from_stage; ++f) idx += num_stages_ - 1 - f;
+  return idx + (to_stage - from_stage - 1);
+}
+
+void ConfidenceCurveModel::fit(const calib::StagedEvaluation& train_eval,
+                               const GpConfig& config, std::size_t grid_segments) {
+  EUGENE_REQUIRE(train_eval.num_stages() >= 2,
+                 "ConfidenceCurveModel: need at least two stages");
+  EUGENE_REQUIRE(train_eval.num_samples() >= 2,
+                 "ConfidenceCurveModel: need at least two samples");
+  num_stages_ = train_eval.num_stages();
+
+  const std::size_t num_pairs = num_stages_ * (num_stages_ - 1) / 2;
+  gps_.assign(num_pairs, GaussianProcess1D{});
+  approximations_.assign(num_pairs, PiecewiseLinear{});
+  priors_.assign(num_stages_, 0.0);
+
+  for (std::size_t s = 0; s < num_stages_; ++s) {
+    const auto conf = train_eval.confidence(s);
+    double sum = 0.0;
+    for (float c : conf) sum += c;
+    priors_[s] = sum / static_cast<double>(conf.size());
+  }
+
+  for (std::size_t from = 0; from < num_stages_; ++from) {
+    const auto x_conf = train_eval.confidence(from);
+    std::vector<double> x(x_conf.begin(), x_conf.end());
+    for (std::size_t to = from + 1; to < num_stages_; ++to) {
+      const auto y_conf = train_eval.confidence(to);
+      std::vector<double> y(y_conf.begin(), y_conf.end());
+      const std::size_t idx = pair_index(from, to);
+      gps_[idx].fit(x, y, config);
+      const GaussianProcess1D& gp = gps_[idx];
+      approximations_[idx] = PiecewiseLinear::from_function(
+          [&gp](double c) { return gp.predict(c).mean; }, grid_segments, 0.0, 1.0);
+    }
+  }
+}
+
+double ConfidenceCurveModel::predict(std::size_t from_stage, std::size_t to_stage,
+                                     double confidence) const {
+  EUGENE_REQUIRE(fitted(), "ConfidenceCurveModel::predict before fit");
+  const double raw = approximations_[pair_index(from_stage, to_stage)](confidence);
+  return clamp(raw, 0.0, 1.0);
+}
+
+GpPrediction ConfidenceCurveModel::predict_gp(std::size_t from_stage, std::size_t to_stage,
+                                              double confidence) const {
+  EUGENE_REQUIRE(fitted(), "ConfidenceCurveModel::predict_gp before fit");
+  return gps_[pair_index(from_stage, to_stage)].predict(confidence);
+}
+
+double ConfidenceCurveModel::prior_confidence(std::size_t stage) const {
+  EUGENE_REQUIRE(stage < num_stages_, "prior_confidence: stage out of range");
+  return priors_[stage];
+}
+
+CurveFitQuality ConfidenceCurveModel::evaluate(const calib::StagedEvaluation& test_eval,
+                                               std::size_t from_stage,
+                                               std::size_t to_stage,
+                                               bool use_piecewise) const {
+  EUGENE_REQUIRE(test_eval.num_stages() == num_stages_,
+                 "ConfidenceCurveModel::evaluate: stage count mismatch");
+  const auto from_conf = test_eval.confidence(from_stage);
+  const auto to_conf = test_eval.confidence(to_stage);
+  std::vector<double> truth(to_conf.begin(), to_conf.end());
+  std::vector<double> pred(from_conf.size());
+  for (std::size_t i = 0; i < from_conf.size(); ++i) {
+    pred[i] = use_piecewise ? predict(from_stage, to_stage, from_conf[i])
+                            : clamp(predict_gp(from_stage, to_stage, from_conf[i]).mean,
+                                    0.0, 1.0);
+  }
+  CurveFitQuality q;
+  q.mae = mean_absolute_error(truth, pred);
+  q.r_squared = r_squared(truth, pred);
+  return q;
+}
+
+}  // namespace eugene::gp

@@ -1,0 +1,64 @@
+// Dynamic confidence-curve model (paper Section III-B, Table III).
+//
+// For an L-stage model, fits one GP per ordered stage pair (l → l'), l < l',
+// mapping "confidence observed at stage l" to "confidence expected at stage
+// l'". Each GP is profiled into a piecewise-linear function for O(1) runtime
+// queries by the scheduler. Also records the training-set mean confidence
+// per stage as the cold-start prior for tasks with no executed stages yet.
+#pragma once
+
+#include <optional>
+
+#include "calib/evaluation.hpp"
+#include "gp/gaussian_process.hpp"
+#include "gp/piecewise_linear.hpp"
+
+namespace eugene::gp {
+
+/// MAE and R² of a curve predictor on held-out data (Table III columns).
+struct CurveFitQuality {
+  double mae = 0.0;
+  double r_squared = 0.0;
+};
+
+/// All (l → l') confidence regressions for one staged model.
+class ConfidenceCurveModel {
+ public:
+  /// Fits GPs and their piecewise-linear approximations from a *training*
+  /// evaluation table. `grid_segments` is M in the paper's {0,1/M,…,1}
+  /// profiling grid.
+  void fit(const calib::StagedEvaluation& train_eval, const GpConfig& config = {},
+           std::size_t grid_segments = 10);
+
+  std::size_t num_stages() const { return num_stages_; }
+  bool fitted() const { return num_stages_ > 0; }
+
+  /// Fast path: piecewise-linear approximation of GP(from→to).
+  double predict(std::size_t from_stage, std::size_t to_stage, double confidence) const;
+
+  /// Exact GP posterior (slow path, used for evaluation and by callers that
+  /// want the uncertainty band).
+  GpPrediction predict_gp(std::size_t from_stage, std::size_t to_stage,
+                          double confidence) const;
+
+  /// Cold-start prior: mean training confidence at `stage` (paper: "At the
+  /// beginning, predicted confidence ... is based on overall statistics
+  /// computed from training data").
+  double prior_confidence(std::size_t stage) const;
+
+  /// Table III: evaluates GP(from→to) on a held-out evaluation table.
+  /// `use_piecewise` selects the runtime approximation instead of the exact GP.
+  CurveFitQuality evaluate(const calib::StagedEvaluation& test_eval,
+                           std::size_t from_stage, std::size_t to_stage,
+                           bool use_piecewise = false) const;
+
+ private:
+  std::size_t pair_index(std::size_t from_stage, std::size_t to_stage) const;
+
+  std::size_t num_stages_ = 0;
+  std::vector<GaussianProcess1D> gps_;         ///< indexed by pair_index
+  std::vector<PiecewiseLinear> approximations_;
+  std::vector<double> priors_;
+};
+
+}  // namespace eugene::gp

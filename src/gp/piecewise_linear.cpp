@@ -1,0 +1,35 @@
+#include "gp/piecewise_linear.hpp"
+
+#include "common/error.hpp"
+
+namespace eugene::gp {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> knot_values, double lo, double hi)
+    : knots_(std::move(knot_values)), lo_(lo), hi_(hi) {
+  EUGENE_REQUIRE(knots_.size() >= 2, "PiecewiseLinear: need at least two knots");
+  EUGENE_REQUIRE(lo < hi, "PiecewiseLinear: lo must be < hi");
+}
+
+PiecewiseLinear PiecewiseLinear::from_function(const std::function<double(double)>& fn,
+                                               std::size_t segments, double lo, double hi) {
+  EUGENE_REQUIRE(segments >= 1, "PiecewiseLinear: need at least one segment");
+  std::vector<double> values(segments + 1);
+  for (std::size_t i = 0; i <= segments; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(segments);
+    values[i] = fn(x);
+  }
+  return PiecewiseLinear(std::move(values), lo, hi);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  EUGENE_REQUIRE(!knots_.empty(), "PiecewiseLinear: evaluated before construction");
+  if (x <= lo_) return knots_.front();
+  if (x >= hi_) return knots_.back();
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(knots_.size() - 1);
+  const std::size_t seg = static_cast<std::size_t>(t);
+  const double frac = t - static_cast<double>(seg);
+  if (seg + 1 >= knots_.size()) return knots_.back();
+  return knots_[seg] * (1.0 - frac) + knots_[seg + 1] * frac;
+}
+
+}  // namespace eugene::gp

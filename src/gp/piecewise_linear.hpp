@@ -1,0 +1,40 @@
+// Piecewise-linear function on a uniform grid over a bounded domain.
+//
+// The paper's runtime trick (Section III-B): Gaussian-process inference is
+// too slow for a scheduler's inner loop, but its inputs are confidences in
+// [0, 1], so the GP is profiled at {0, 1/M, …, 1} and replaced by linear
+// interpolation between those profiling points.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace eugene::gp {
+
+/// Linear interpolant over equally spaced knots on [lo, hi]; queries outside
+/// the domain clamp to the boundary values.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Samples `fn` at segments+1 uniformly spaced knots.
+  static PiecewiseLinear from_function(const std::function<double(double)>& fn,
+                                       std::size_t segments, double lo = 0.0,
+                                       double hi = 1.0);
+
+  /// Builds directly from knot values (knots.size() >= 2).
+  PiecewiseLinear(std::vector<double> knot_values, double lo, double hi);
+
+  double operator()(double x) const;
+
+  bool empty() const { return knots_.empty(); }
+  std::size_t segments() const { return knots_.empty() ? 0 : knots_.size() - 1; }
+  const std::vector<double>& knot_values() const { return knots_; }
+
+ private:
+  std::vector<double> knots_;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+}  // namespace eugene::gp

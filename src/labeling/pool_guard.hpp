@@ -1,0 +1,58 @@
+// Data-pool integrity screening (paper §V future work):
+//
+//   "how to handle rogue devices (or insider attacks) that gain access to
+//    the data [pool] for the purpose of polluting the pool with adversarial
+//    inputs (e.g., bad samples or wrong labels)? ... if samples arriving
+//    from one of the devices are often misclassified based on models
+//    computed from other devices' data, then one may suspect rogue
+//    behavior."
+//
+// PoolGuard implements exactly that test with leave-one-contributor-out
+// cross-validation: for each contributor, a model trained on everyone
+// else's data scores that contributor's samples; contributors whose
+// disagreement rate exceeds the population by a configurable margin are
+// flagged. Rogues that mix good data with some bad labels are caught once
+// the bad fraction pushes their disagreement rate past the threshold.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "nn/train.hpp"
+
+namespace eugene::labeling {
+
+/// One device's contribution to a training pool.
+struct Contribution {
+  std::size_t device_id = 0;
+  data::Dataset data;
+};
+
+/// Screening verdict per contributor.
+struct ContributorReport {
+  std::size_t device_id = 0;
+  std::size_t samples = 0;
+  double disagreement_rate = 0.0;  ///< cross-model error on this device's data
+  bool flagged = false;
+};
+
+/// Screening knobs.
+struct PoolGuardConfig {
+  /// Flag a contributor whose disagreement exceeds the median contributor's
+  /// by this absolute margin.
+  double flag_margin = 0.25;
+  nn::ClassifierTrainConfig training;
+};
+
+/// Leave-one-contributor-out screening over a pool of contributions.
+/// `factory(variant)` builds a fresh classifier for each held-out fold.
+std::vector<ContributorReport> screen_pool(
+    const std::vector<Contribution>& contributions,
+    const std::function<nn::Sequential(std::uint64_t)>& factory,
+    const PoolGuardConfig& config);
+
+/// Convenience: the pool with flagged contributors removed.
+data::Dataset clean_pool(const std::vector<Contribution>& contributions,
+                         const std::vector<ContributorReport>& reports);
+
+}  // namespace eugene::labeling

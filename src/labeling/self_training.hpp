@@ -1,0 +1,79 @@
+// Automatic data labeling (paper §II-A "Labeling").
+//
+// The paper proposes SenseGAN: a semi-supervised game where one network
+// proposes labels for unlabeled samples and an adversary tries to tell the
+// proposed labels from real ones, until the proposals are "hard to falsify".
+// Training a GAN is out of this reproduction's CPU budget (DESIGN.md §2), so
+// Eugene's labeling service implements the same service contract with
+// confidence-thresholded self-training plus a *disagreement discriminator*:
+// two independently initialized classifiers must agree on a pseudo-label
+// before it is adopted — the cheap stand-in for the adversary's
+// falsifiability test. The service-level behaviour matches the paper's
+// claim: a few labels plus many unlabeled samples approach fully supervised
+// accuracy.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "nn/train.hpp"
+
+namespace eugene::labeling {
+
+/// Self-training knobs.
+struct SelfTrainingConfig {
+  std::size_t rounds = 4;
+  double adopt_confidence = 0.85;  ///< pseudo-labels need this much confidence
+  bool require_agreement = true;   ///< both classifiers must agree (the
+                                   ///< falsifiability stand-in)
+  nn::ClassifierTrainConfig training;
+  std::uint64_t seed = 3;
+};
+
+/// What the labeler did, for analysis. `pseudo_label_accuracy` uses the
+/// hidden ground truth carried by the unlabeled pool — evaluation only,
+/// never visible to the labeler.
+struct LabelingReport {
+  std::size_t adopted_total = 0;
+  std::vector<std::size_t> adopted_per_round;
+  double pseudo_label_accuracy = 0.0;
+};
+
+/// Semi-supervised labeler over caller-supplied classifier architectures.
+class SelfTrainingLabeler {
+ public:
+  /// Builds a fresh, untrained classifier; called once per model per round.
+  /// The factory should vary initialization via its own internal seeding —
+  /// the labeler passes a distinct `variant` index per call.
+  using ModelFactory = std::function<nn::Sequential(std::uint64_t variant)>;
+
+  SelfTrainingLabeler(ModelFactory factory, SelfTrainingConfig config);
+
+  /// Consumes a small labeled set and an unlabeled pool (its `labels` are
+  /// hidden ground truth used only for the report). Returns the labeled set
+  /// augmented with adopted pseudo-labeled samples.
+  data::Dataset run(const data::Dataset& labeled, const data::Dataset& unlabeled,
+                    LabelingReport* report = nullptr);
+
+ private:
+  ModelFactory factory_;
+  SelfTrainingConfig config_;
+};
+
+/// End-to-end benefit measurement: downstream accuracy when training on
+/// (a) the small labeled set only, (b) labeled + self-training-adopted
+/// pseudo-labels, (c) the fully supervised upper bound.
+struct BenefitReport {
+  double labeled_only = 0.0;
+  double self_trained = 0.0;
+  double fully_supervised = 0.0;
+  LabelingReport labeling;
+};
+
+BenefitReport evaluate_labeling_benefit(const SelfTrainingLabeler::ModelFactory& factory,
+                                        const data::Dataset& labeled,
+                                        const data::Dataset& unlabeled,
+                                        const data::Dataset& test,
+                                        const SelfTrainingConfig& config);
+
+}  // namespace eugene::labeling

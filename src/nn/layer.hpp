@@ -1,0 +1,105 @@
+// Layer abstraction for the Eugene neural-network stack.
+//
+// Layers process one sample at a time (tiny paper-scale inputs make
+// per-sample processing simple and fast enough); minibatch SGD accumulates
+// parameter gradients across samples before each optimizer step. Each layer
+// caches what it needs from the last forward() so backward() can run without
+// re-deriving activations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace eugene::nn {
+
+/// A learnable parameter and its gradient accumulator, exposed by layers so
+/// optimizers and serializers can walk a model without knowing layer types.
+struct ParamRef {
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for one sample. `training` enables behaviours
+  /// that differ between fit and inference time (dropout masks).
+  virtual tensor::Tensor forward(const tensor::Tensor& input, bool training) = 0;
+
+  /// Propagates the loss gradient from output to input, accumulating
+  /// parameter gradients. Must follow a forward() on the same sample.
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Multiply-add FLOPs of one forward pass (0 for negligible layers);
+  /// consumed by the execution profiler.
+  virtual double flops() const { return 0.0; }
+
+  /// Diagnostic name, e.g. "conv3x3(8->32)".
+  virtual std::string name() const = 0;
+};
+
+/// Ordered container of layers, itself a layer.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for fluent building.
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    EUGENE_REQUIRE(layer != nullptr, "Sequential::add: null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override {
+    tensor::Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, training);
+    return x;
+  }
+
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override {
+    tensor::Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<ParamRef> params() override {
+    std::vector<ParamRef> out;
+    for (auto& layer : layers_) {
+      auto p = layer->params();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  double flops() const override {
+    double total = 0.0;
+    for (const auto& layer : layers_) total += layer->flops();
+    return total;
+  }
+
+  std::string name() const override { return "sequential(" + std::to_string(layers_.size()) + ")"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) {
+    EUGENE_REQUIRE(i < layers_.size(), "Sequential::layer index out of range");
+    return *layers_[i];
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Zeroes the gradient accumulators of every parameter in `params`.
+inline void zero_grads(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) p.grad->fill(0.0f);
+}
+
+}  // namespace eugene::nn

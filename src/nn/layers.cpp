@@ -1,0 +1,328 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace eugene::nn {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(tensor::Conv2dGeometry geometry, Rng& rng)
+    : geometry_(geometry),
+      weights_({geometry.out_channels, geometry.in_channels * geometry.kernel * geometry.kernel}),
+      bias_({geometry.out_channels}),
+      grad_weights_(weights_.shape()),
+      grad_bias_(bias_.shape()) {
+  // He initialization: stddev = sqrt(2 / fan_in).
+  const double fan_in = static_cast<double>(geometry.in_channels) *
+                        static_cast<double>(geometry.kernel) *
+                        static_cast<double>(geometry.kernel);
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+  weights_ = Tensor::randn(weights_.shape(), rng, stddev);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  cached_cols_ = tensor::im2col(input, geometry_);
+  Tensor out = tensor::matmul(weights_, cached_cols_);
+  const std::size_t ohw = geometry_.out_height() * geometry_.out_width();
+  float* op = out.raw();
+  for (std::size_t oc = 0; oc < geometry_.out_channels; ++oc) {
+    const float b = bias_.at(oc);
+    for (std::size_t i = 0; i < ohw; ++i) op[oc * ohw + i] += b;
+  }
+  return out.reshaped({geometry_.out_channels, geometry_.out_height(), geometry_.out_width()});
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t ohw = geometry_.out_height() * geometry_.out_width();
+  EUGENE_REQUIRE(grad_output.numel() == geometry_.out_channels * ohw,
+                 "Conv2d::backward: gradient shape mismatch");
+  const Tensor grad_mat = grad_output.reshaped({geometry_.out_channels, ohw});
+  grad_weights_ += tensor::matmul_transpose_b(grad_mat, cached_cols_);
+  for (std::size_t oc = 0; oc < geometry_.out_channels; ++oc) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < ohw; ++i) acc += grad_mat.at(oc, i);
+    grad_bias_.at(oc) += acc;
+  }
+  const Tensor grad_cols = tensor::matmul_transpose_a(weights_, grad_mat);
+  return tensor::col2im(grad_cols, geometry_);
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(geometry_.kernel) + "x" + std::to_string(geometry_.kernel) +
+         "(" + std::to_string(geometry_.in_channels) + "->" +
+         std::to_string(geometry_.out_channels) + ")";
+}
+
+// ----------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weights_(weights_.shape()),
+      grad_bias_(bias_.shape()) {
+  EUGENE_REQUIRE(in_features > 0 && out_features > 0, "Dense: zero-sized layer");
+  const float stddev = static_cast<float>(std::sqrt(2.0 / static_cast<double>(in_features)));
+  weights_ = Tensor::randn(weights_.shape(), rng, stddev);
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  EUGENE_REQUIRE(input.numel() == in_features_, "Dense::forward: input size mismatch");
+  cached_input_ = input.reshaped({in_features_});
+  Tensor out({out_features_});
+  const float* w = weights_.raw();
+  const float* x = cached_input_.raw();
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    float acc = bias_.at(o);
+    const float* wrow = w + o * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) acc += wrow[i] * x[i];
+    out.at(o) = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(grad_output.numel() == out_features_, "Dense::backward: grad size mismatch");
+  const float* g = grad_output.raw();
+  const float* x = cached_input_.raw();
+  float* gw = grad_weights_.raw();
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    grad_bias_.at(o) += g[o];
+    float* gwrow = gw + o * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) gwrow[i] += g[o] * x[i];
+  }
+  Tensor grad_in({in_features_});
+  const float* w = weights_.raw();
+  float* gi = grad_in.raw();
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    const float* wrow = w + o * in_features_;
+    for (std::size_t i = 0; i < in_features_; ++i) gi[i] += g[o] * wrow[i];
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
+}
+
+std::string Dense::name() const {
+  return "dense(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float* x = input.raw();
+  float* m = mask_.raw();
+  float* o = out.raw();
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool positive = x[i] > 0.0f;
+    m[i] = positive ? 1.0f : 0.0f;
+    o[i] = positive ? x[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(grad_output.numel() == mask_.numel(), "ReLU::backward: shape mismatch");
+  Tensor grad_in(mask_.shape());
+  const float* g = grad_output.raw();
+  const float* m = mask_.raw();
+  float* gi = grad_in.raw();
+  for (std::size_t i = 0; i < mask_.numel(); ++i) gi[i] = g[i] * m[i];
+  return grad_in;
+}
+
+// ----------------------------------------------------------- ChannelNorm
+
+ChannelNorm::ChannelNorm(std::size_t channels, float epsilon)
+    : channels_(channels),
+      epsilon_(epsilon),
+      gain_({channels}, 1.0f),
+      bias_({channels}),
+      grad_gain_({channels}),
+      grad_bias_({channels}) {
+  EUGENE_REQUIRE(channels > 0, "ChannelNorm: zero channels");
+}
+
+Tensor ChannelNorm::forward(const Tensor& input, bool /*training*/) {
+  EUGENE_REQUIRE(input.rank() == 3 && input.dim(0) == channels_,
+                 "ChannelNorm::forward: expected CHW with matching channels");
+  const std::size_t hw = input.dim(1) * input.dim(2);
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_.assign(channels_, 0.0f);
+  Tensor out(input.shape());
+  const float* x = input.raw();
+  float* xh = cached_xhat_.raw();
+  float* o = out.raw();
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* xc = x + c * hw;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) mean += xc[i];
+    mean /= static_cast<double>(hw);
+    double var = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) var += (xc[i] - mean) * (xc[i] - mean);
+    var /= static_cast<double>(hw);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+    cached_inv_std_[c] = inv_std;
+    const float g = gain_.at(c), b = bias_.at(c);
+    for (std::size_t i = 0; i < hw; ++i) {
+      const float xhat = (xc[i] - static_cast<float>(mean)) * inv_std;
+      xh[c * hw + i] = xhat;
+      o[c * hw + i] = g * xhat + b;
+    }
+  }
+  return out;
+}
+
+Tensor ChannelNorm::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(grad_output.same_shape(cached_xhat_), "ChannelNorm::backward: shape mismatch");
+  const std::size_t hw = cached_xhat_.dim(1) * cached_xhat_.dim(2);
+  Tensor grad_in(cached_xhat_.shape());
+  const float* g = grad_output.raw();
+  const float* xh = cached_xhat_.raw();
+  float* gi = grad_in.raw();
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* gc = g + c * hw;
+    const float* xhc = xh + c * hw;
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      sum_g += gc[i];
+      sum_gx += gc[i] * xhc[i];
+    }
+    grad_bias_.at(c) += static_cast<float>(sum_g);
+    grad_gain_.at(c) += static_cast<float>(sum_gx);
+    const float gain = gain_.at(c);
+    const float inv_std = cached_inv_std_[c];
+    const float mean_g = static_cast<float>(sum_g / static_cast<double>(hw));
+    const float mean_gx = static_cast<float>(sum_gx / static_cast<double>(hw));
+    for (std::size_t i = 0; i < hw; ++i)
+      gi[c * hw + i] = gain * inv_std * (gc[i] - mean_g - xhc[i] * mean_gx);
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> ChannelNorm::params() {
+  return {{&gain_, &grad_gain_}, {&bias_, &grad_bias_}};
+}
+
+// --------------------------------------------------------------- Dropout
+
+Dropout::Dropout(float drop_probability, std::uint64_t seed)
+    : p_(drop_probability), rng_(seed) {
+  EUGENE_REQUIRE(p_ >= 0.0f && p_ < 1.0f, "Dropout: probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float keep = 1.0f - p_;
+  const float scale = 1.0f / keep;
+  const float* x = input.raw();
+  float* m = mask_.raw();
+  float* o = out.raw();
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool keep_unit = !rng_.bernoulli(p_);
+    m[i] = keep_unit ? scale : 0.0f;
+    o[i] = x[i] * m[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_training_ || p_ == 0.0f) return grad_output;
+  EUGENE_REQUIRE(grad_output.numel() == mask_.numel(), "Dropout::backward: shape mismatch");
+  Tensor grad_in(mask_.shape());
+  const float* g = grad_output.raw();
+  const float* m = mask_.raw();
+  float* gi = grad_in.raw();
+  for (std::size_t i = 0; i < mask_.numel(); ++i) gi[i] = g[i] * m[i];
+  return grad_in;
+}
+
+std::string Dropout::name() const {
+  return "dropout(p=" + std::to_string(p_) + ")";
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  cached_shape_ = input.shape();
+  return input.reshaped({input.numel()});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+// --------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  cached_shape_ = input.shape();
+  return tensor::global_avg_pool(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(cached_shape_.size() == 3, "GlobalAvgPool::backward before forward");
+  const std::size_t c = cached_shape_[0];
+  const std::size_t hw = cached_shape_[1] * cached_shape_[2];
+  EUGENE_REQUIRE(grad_output.numel() == c, "GlobalAvgPool::backward: grad size mismatch");
+  Tensor grad_in(cached_shape_);
+  float* gi = grad_in.raw();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float share = grad_output.at(ch) / static_cast<float>(hw);
+    for (std::size_t i = 0; i < hw; ++i) gi[ch * hw + i] = share;
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------- MaxPool2
+
+Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
+  EUGENE_REQUIRE(input.rank() == 3, "MaxPool2: expected CHW image");
+  cached_in_shape_ = input.shape();
+  const std::size_t c = input.dim(0);
+  const std::size_t oh = input.dim(1) / 2, ow = input.dim(2) / 2;
+  EUGENE_REQUIRE(oh > 0 && ow > 0, "MaxPool2: image too small");
+  Tensor out({c, oh, ow});
+  argmax_.assign(c * oh * ow, 0);
+  const std::size_t ih = input.dim(1), iw = input.dim(2);
+  const float* x = input.raw();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t xo = 0; xo < ow; ++xo) {
+        std::size_t best = ch * ih * iw + (2 * y) * iw + 2 * xo;
+        for (std::size_t dy = 0; dy < 2; ++dy)
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const std::size_t idx = ch * ih * iw + (2 * y + dy) * iw + (2 * xo + dx);
+            if (x[idx] > x[best]) best = idx;
+          }
+        out.at(ch, y, xo) = x[best];
+        argmax_[(ch * oh + y) * ow + xo] = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(grad_output.numel() == argmax_.size(), "MaxPool2::backward: shape mismatch");
+  Tensor grad_in(cached_in_shape_);
+  float* gi = grad_in.raw();
+  const float* g = grad_output.raw();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gi[argmax_[i]] += g[i];
+  return grad_in;
+}
+
+}  // namespace eugene::nn

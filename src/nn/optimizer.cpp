@@ -1,0 +1,35 @@
+#include "nn/optimizer.hpp"
+
+namespace eugene::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  EUGENE_REQUIRE(config_.learning_rate > 0.0, "SGD: learning rate must be positive");
+  EUGENE_REQUIRE(config_.momentum >= 0.0 && config_.momentum < 1.0,
+                 "SGD: momentum must be in [0, 1)");
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void SgdOptimizer::step(double grad_scale) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->raw();
+    const float* g = params_[i].grad->raw();
+    float* v = velocity_[i].raw();
+    const std::size_t n = params_[i].value->numel();
+    const float lr = static_cast<float>(config_.learning_rate);
+    const float mom = static_cast<float>(config_.momentum);
+    const float wd = static_cast<float>(config_.weight_decay);
+    const float scale = static_cast<float>(grad_scale);
+    for (std::size_t j = 0; j < n; ++j) {
+      v[j] = mom * v[j] - lr * (g[j] * scale + wd * w[j]);
+      w[j] += v[j];
+    }
+  }
+}
+
+void SgdOptimizer::zero_grads() {
+  for (const auto& p : params_) p.grad->fill(0.0f);
+}
+
+}  // namespace eugene::nn

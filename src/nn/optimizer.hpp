@@ -1,0 +1,41 @@
+// Stochastic gradient descent with momentum and weight decay — the training
+// engine behind every Eugene model (staged ResNets, cache models, labeling
+// classifiers).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace eugene::nn {
+
+/// SGD hyperparameters.
+struct SgdConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+};
+
+/// Classic momentum SGD over a fixed parameter set.
+/// The parameter list must not be reallocated while the optimizer lives.
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::vector<ParamRef> params, SgdConfig config);
+
+  /// Applies one update: v ← m·v − lr·(g·scale + wd·w); w ← w + v.
+  /// `grad_scale` converts accumulated sums into means (1/batch_size).
+  void step(double grad_scale = 1.0);
+
+  /// Zeroes all gradient accumulators.
+  void zero_grads();
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<tensor::Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace eugene::nn

@@ -1,0 +1,75 @@
+#include "nn/residual.hpp"
+
+namespace eugene::nn {
+
+using tensor::Tensor;
+
+ResidualBlock::ResidualBlock(std::size_t channels, std::size_t height, std::size_t width,
+                             Rng& rng)
+    : channels_(channels) {
+  tensor::Conv2dGeometry g;
+  g.in_channels = channels;
+  g.out_channels = channels;
+  g.in_height = height;
+  g.in_width = width;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  conv1_ = std::make_unique<Conv2d>(g, rng);
+  norm1_ = std::make_unique<ChannelNorm>(channels);
+  relu1_ = std::make_unique<ReLU>();
+  conv2_ = std::make_unique<Conv2d>(g, rng);
+  norm2_ = std::make_unique<ChannelNorm>(channels);
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool training) {
+  Tensor f = norm1_->forward(conv1_->forward(input, training), training);
+  f = relu1_->forward(f, training);
+  f = norm2_->forward(conv2_->forward(f, training), training);
+  f += input;  // identity shortcut
+  pre_activation_ = f;
+  Tensor out(f.shape());
+  const float* p = f.raw();
+  float* o = out.raw();
+  for (std::size_t i = 0; i < f.numel(); ++i) o[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  EUGENE_REQUIRE(grad_output.same_shape(pre_activation_),
+                 "ResidualBlock::backward: shape mismatch");
+  // Final ReLU gradient.
+  Tensor g(pre_activation_.shape());
+  const float* go = grad_output.raw();
+  const float* pre = pre_activation_.raw();
+  float* gp = g.raw();
+  for (std::size_t i = 0; i < g.numel(); ++i) gp[i] = pre[i] > 0.0f ? go[i] : 0.0f;
+
+  // Residual path: norm2 <- conv2 <- relu1 <- norm1 <- conv1.
+  Tensor gf = norm2_->backward(g);
+  gf = conv2_->backward(gf);
+  gf = relu1_->backward(gf);
+  gf = norm1_->backward(gf);
+  gf = conv1_->backward(gf);
+
+  gf += g;  // identity shortcut gradient
+  return gf;
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> out;
+  for (Layer* layer : {static_cast<Layer*>(conv1_.get()), static_cast<Layer*>(norm1_.get()),
+                       static_cast<Layer*>(conv2_.get()), static_cast<Layer*>(norm2_.get())}) {
+    auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+double ResidualBlock::flops() const { return conv1_->flops() + conv2_->flops(); }
+
+std::string ResidualBlock::name() const {
+  return "residual_block(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace eugene::nn

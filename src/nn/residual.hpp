@@ -1,0 +1,34 @@
+// Residual block: the building unit of the paper's three-stage ResNet
+// (Fig. 3): out = relu(x + norm(conv(relu(norm(conv(x)))))).
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace eugene::nn {
+
+/// Two 3×3 convolutions with channel normalization and an identity shortcut.
+/// Input and output channel counts are equal; stage-boundary channel changes
+/// are handled by transition convolutions in the staged-model builder.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t channels, std::size_t height, std::size_t width, Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  double flops() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t channels_;
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<ChannelNorm> norm1_;
+  std::unique_ptr<ReLU> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<ChannelNorm> norm2_;
+  tensor::Tensor pre_activation_;  ///< x + f(x), cached for the final ReLU grad
+};
+
+}  // namespace eugene::nn

@@ -1,0 +1,76 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace eugene::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45554731;  // "EUG1"
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  EUGENE_REQUIRE(in.good(), "load_params: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_params(const std::vector<ParamRef>& params, std::ostream& out) {
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    const auto& shape = p.value->shape();
+    write_u32(out, static_cast<std::uint32_t>(shape.size()));
+    for (std::size_t d : shape) write_u32(out, static_cast<std::uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(p.value->raw()),
+              static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  }
+  EUGENE_CHECK(out.good(), "save_params: stream write failed");
+}
+
+void load_params(const std::vector<ParamRef>& params, std::istream& in) {
+  EUGENE_REQUIRE(read_u32(in) == kMagic, "load_params: bad magic (not a Eugene model)");
+  const std::uint32_t count = read_u32(in);
+  EUGENE_REQUIRE(count == params.size(),
+                 "load_params: parameter count mismatch (architecture differs)");
+  for (const auto& p : params) {
+    const std::uint32_t rank = read_u32(in);
+    EUGENE_REQUIRE(rank == p.value->rank(), "load_params: tensor rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d)
+      EUGENE_REQUIRE(read_u32(in) == p.value->dim(d), "load_params: tensor shape mismatch");
+    in.read(reinterpret_cast<char*>(p.value->raw()),
+            static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+    EUGENE_REQUIRE(in.good(), "load_params: truncated tensor data");
+  }
+}
+
+void save_params_file(const std::vector<ParamRef>& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  EUGENE_REQUIRE(out.is_open(), "save_params_file: cannot open " + path);
+  save_params(params, out);
+}
+
+void load_params_file(const std::vector<ParamRef>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EUGENE_REQUIRE(in.is_open(), "load_params_file: cannot open " + path);
+  load_params(params, in);
+}
+
+std::size_t serialized_size_bytes(const std::vector<ParamRef>& params) {
+  std::size_t bytes = 8;  // magic + count
+  for (const auto& p : params)
+    bytes += 4 + 4 * p.value->rank() + p.value->numel() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace eugene::nn

@@ -1,0 +1,33 @@
+// Binary (de)serialization of model parameters.
+//
+// Serves Eugene's model-caching service: the server trains/reduces a model,
+// serializes it, and the client deserializes into an identically built
+// architecture ("caching appropriately trained neural network models",
+// paper §I/§II-B).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace eugene::nn {
+
+/// Writes all parameters to a stream: magic, tensor count, then per tensor
+/// rank + shape + raw floats.
+void save_params(const std::vector<ParamRef>& params, std::ostream& out);
+
+/// Reads parameters saved by save_params into an architecture with exactly
+/// matching shapes. Throws eugene::InvalidArgument on any mismatch.
+void load_params(const std::vector<ParamRef>& params, std::istream& in);
+
+/// Convenience file wrappers.
+void save_params_file(const std::vector<ParamRef>& params, const std::string& path);
+void load_params_file(const std::vector<ParamRef>& params, const std::string& path);
+
+/// Total serialized size in bytes (used by the caching policy to reason
+/// about download cost).
+std::size_t serialized_size_bytes(const std::vector<ParamRef>& params);
+
+}  // namespace eugene::nn

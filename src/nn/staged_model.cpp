@@ -1,0 +1,189 @@
+#include "nn/staged_model.hpp"
+
+#include "common/stats.hpp"
+#include "nn/residual.hpp"
+
+namespace eugene::nn {
+
+using tensor::Tensor;
+
+void StagedModel::add_stage(std::unique_ptr<Sequential> trunk,
+                            std::unique_ptr<Sequential> head) {
+  EUGENE_REQUIRE(trunk != nullptr && head != nullptr, "add_stage: null trunk or head");
+  stages_.push_back(Stage{std::move(trunk), std::move(head)});
+}
+
+StageOutput StagedModel::make_output(Tensor features, const Tensor& logits) const {
+  EUGENE_CHECK(logits.numel() == num_classes_, "head produced wrong logit count");
+  StageOutput out;
+  out.probs = softmax(logits.data());
+  out.predicted_label = argmax(out.probs);
+  out.confidence = out.probs[out.predicted_label];
+  out.features = std::move(features);
+  return out;
+}
+
+StageOutput StagedModel::run_stage(std::size_t s, const Tensor& input, bool training) {
+  EUGENE_REQUIRE(s < stages_.size(), "run_stage: stage index out of range");
+  Tensor features = stages_[s].trunk->forward(input, training);
+  const Tensor logits = stages_[s].head->forward(features, training);
+  return make_output(std::move(features), logits);
+}
+
+std::vector<StageOutput> StagedModel::forward_all(const Tensor& input, bool training) {
+  std::vector<StageOutput> outputs;
+  outputs.reserve(stages_.size());
+  const Tensor* current = &input;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    outputs.push_back(run_stage(s, *current, training));
+    current = &outputs.back().features;
+  }
+  return outputs;
+}
+
+StageOutput StagedModel::run_stage_mc(std::size_t s, const Tensor& input,
+                                      std::size_t samples) {
+  EUGENE_REQUIRE(s < stages_.size(), "run_stage_mc: stage index out of range");
+  EUGENE_REQUIRE(samples > 0, "run_stage_mc: need at least one sample");
+  Tensor features = stages_[s].trunk->forward(input, /*training=*/false);
+  std::vector<double> mean_probs(num_classes_, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    // training=true keeps dropout masks active, sampling the posterior.
+    const Tensor logits = stages_[s].head->forward(features, /*training=*/true);
+    const std::vector<float> p = softmax(logits.data());
+    for (std::size_t c = 0; c < num_classes_; ++c) mean_probs[c] += p[c];
+  }
+  StageOutput out;
+  out.probs.resize(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    out.probs[c] = static_cast<float>(mean_probs[c] / static_cast<double>(samples));
+  out.predicted_label = argmax(out.probs);
+  out.confidence = out.probs[out.predicted_label];
+  out.features = std::move(features);
+  return out;
+}
+
+Tensor StagedModel::trunk_forward(std::size_t s, const Tensor& input, bool training) {
+  EUGENE_REQUIRE(s < stages_.size(), "trunk_forward: stage index out of range");
+  return stages_[s].trunk->forward(input, training);
+}
+
+Tensor StagedModel::head_forward(std::size_t s, const Tensor& features, bool training) {
+  EUGENE_REQUIRE(s < stages_.size(), "head_forward: stage index out of range");
+  return stages_[s].head->forward(features, training);
+}
+
+Tensor StagedModel::head_backward(std::size_t s, const Tensor& grad_logits) {
+  EUGENE_REQUIRE(s < stages_.size(), "head_backward: stage index out of range");
+  return stages_[s].head->backward(grad_logits);
+}
+
+Tensor StagedModel::trunk_backward(std::size_t s, const Tensor& grad_features) {
+  EUGENE_REQUIRE(s < stages_.size(), "trunk_backward: stage index out of range");
+  return stages_[s].trunk->backward(grad_features);
+}
+
+std::vector<ParamRef> StagedModel::params() {
+  std::vector<ParamRef> out;
+  for (auto& stage : stages_) {
+    auto t = stage.trunk->params();
+    out.insert(out.end(), t.begin(), t.end());
+    auto h = stage.head->params();
+    out.insert(out.end(), h.begin(), h.end());
+  }
+  return out;
+}
+
+std::vector<ParamRef> StagedModel::head_params(std::size_t s) {
+  EUGENE_REQUIRE(s < stages_.size(), "head_params: stage index out of range");
+  return stages_[s].head->params();
+}
+
+double StagedModel::stage_flops(std::size_t s) const {
+  EUGENE_REQUIRE(s < stages_.size(), "stage_flops: stage index out of range");
+  return stages_[s].trunk->flops() + stages_[s].head->flops();
+}
+
+std::size_t StagedModel::stage_param_bytes(std::size_t s) {
+  EUGENE_REQUIRE(s < stages_.size(), "stage_param_bytes: stage index out of range");
+  std::size_t count = 0;
+  for (const auto& p : stages_[s].trunk->params()) count += p.value->numel();
+  for (const auto& p : stages_[s].head->params()) count += p.value->numel();
+  return count * sizeof(float);
+}
+
+StagedModel build_staged_resnet(const StagedResNetConfig& config) {
+  EUGENE_REQUIRE(!config.stage_channels.empty(), "build_staged_resnet: no stages");
+  EUGENE_REQUIRE(config.blocks_per_stage >= 1, "build_staged_resnet: need >=1 block");
+  Rng rng(config.seed);
+  StagedModel model(config.num_classes);
+
+  std::size_t channels = config.in_channels;
+  std::size_t height = config.height;
+  std::size_t width = config.width;
+
+  for (std::size_t s = 0; s < config.stage_channels.size(); ++s) {
+    auto trunk = std::make_unique<Sequential>();
+    if (s > 0 && config.downsample_between_stages) {
+      EUGENE_REQUIRE(height >= 2 && width >= 2,
+                     "build_staged_resnet: image too small to downsample");
+      trunk->add(std::make_unique<MaxPool2>());
+      height /= 2;
+      width /= 2;
+    }
+    // Transition convolution adjusts the channel count entering the stage
+    // (the "bottom convolutional layer" of Fig. 3 for stage 0).
+    tensor::Conv2dGeometry g;
+    g.in_channels = channels;
+    g.out_channels = config.stage_channels[s];
+    g.in_height = height;
+    g.in_width = width;
+    trunk->add(std::make_unique<Conv2d>(g, rng));
+    channels = config.stage_channels[s];
+    trunk->add(std::make_unique<ChannelNorm>(channels));
+    trunk->add(std::make_unique<ReLU>());
+    for (std::size_t b = 0; b < config.blocks_per_stage; ++b)
+      trunk->add(std::make_unique<ResidualBlock>(channels, height, width, rng));
+
+    auto head = std::make_unique<Sequential>();
+    if (config.head_dropout > 0.0f)
+      head->add(std::make_unique<Dropout>(config.head_dropout,
+                                          config.seed + 1000 + s));
+    head->add(std::make_unique<GlobalAvgPool>());
+    if (config.head_hidden > 0) {
+      head->add(std::make_unique<Dense>(channels, config.head_hidden, rng));
+      head->add(std::make_unique<ReLU>());
+      head->add(std::make_unique<Dense>(config.head_hidden, config.num_classes, rng));
+    } else {
+      head->add(std::make_unique<Dense>(channels, config.num_classes, rng));
+    }
+
+    model.add_stage(std::move(trunk), std::move(head));
+  }
+  return model;
+}
+
+StagedModel build_staged_mlp(const StagedMlpConfig& config) {
+  EUGENE_REQUIRE(config.input_dim > 0, "build_staged_mlp: zero input dimension");
+  EUGENE_REQUIRE(!config.stage_widths.empty(), "build_staged_mlp: no stages");
+  EUGENE_REQUIRE(config.layers_per_stage >= 1, "build_staged_mlp: need >=1 layer");
+  Rng rng(config.seed);
+  StagedModel model(config.num_classes);
+
+  std::size_t width = config.input_dim;
+  for (std::size_t s = 0; s < config.stage_widths.size(); ++s) {
+    auto trunk = std::make_unique<Sequential>();
+    if (s == 0) trunk->add(std::make_unique<Flatten>());
+    for (std::size_t l = 0; l < config.layers_per_stage; ++l) {
+      trunk->add(std::make_unique<Dense>(width, config.stage_widths[s], rng));
+      trunk->add(std::make_unique<ReLU>());
+      width = config.stage_widths[s];
+    }
+    auto head = std::make_unique<Sequential>();
+    head->add(std::make_unique<Dense>(width, config.num_classes, rng));
+    model.add_stage(std::move(trunk), std::move(head));
+  }
+  return model;
+}
+
+}  // namespace eugene::nn

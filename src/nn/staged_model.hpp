@@ -1,0 +1,123 @@
+// Staged (multi-exit) models — the inference structure at the heart of
+// Eugene (paper Fig. 1 and Fig. 3).
+//
+// A StagedModel is a chain of trunk segments; after each trunk a thin
+// classifier head emits (predicted label, confidence). The scheduler decides
+// per task how many stages to run; confidence from early heads feeds the
+// dynamic utility curve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/layers.hpp"
+
+namespace eugene::nn {
+
+/// What a stage's classifier head reports for one sample.
+struct StageOutput {
+  tensor::Tensor features;          ///< trunk output, input to the next stage
+  std::vector<float> probs;         ///< softmax distribution over classes
+  std::size_t predicted_label = 0;  ///< argmax of probs
+  float confidence = 0.0f;          ///< max of probs (paper's "classification confidence")
+};
+
+/// Multi-exit network: trunks chained feature-to-feature, one softmax head
+/// per stage (paper Fig. 3).
+class StagedModel {
+ public:
+  explicit StagedModel(std::size_t num_classes) : num_classes_(num_classes) {
+    EUGENE_REQUIRE(num_classes >= 2, "StagedModel: need at least two classes");
+  }
+
+  /// Appends a stage. The trunk maps previous features to new features; the
+  /// head maps features to class logits.
+  void add_stage(std::unique_ptr<Sequential> trunk, std::unique_ptr<Sequential> head);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Runs trunk `s` then its head on `input` (the previous stage's features,
+  /// or the raw sample for stage 0).
+  StageOutput run_stage(std::size_t s, const tensor::Tensor& input, bool training = false);
+
+  /// Runs every stage in order, returning all per-stage outputs.
+  std::vector<StageOutput> forward_all(const tensor::Tensor& input, bool training = false);
+
+  /// RDeepSense-style Monte-Carlo head sampling: evaluates the head
+  /// `samples` times with dropout active and averages the probability
+  /// vectors. The trunk runs once (deterministically).
+  StageOutput run_stage_mc(std::size_t s, const tensor::Tensor& input, std::size_t samples);
+
+  // -- raw pieces used by the trainer ------------------------------------
+  tensor::Tensor trunk_forward(std::size_t s, const tensor::Tensor& input, bool training);
+  tensor::Tensor head_forward(std::size_t s, const tensor::Tensor& features, bool training);
+  tensor::Tensor head_backward(std::size_t s, const tensor::Tensor& grad_logits);
+  tensor::Tensor trunk_backward(std::size_t s, const tensor::Tensor& grad_features);
+
+  /// All learnable parameters, trunk-then-head per stage, in stage order.
+  std::vector<ParamRef> params();
+
+  /// Parameters of stage `s`'s head only (used by calibration fine-tuning).
+  std::vector<ParamRef> head_params(std::size_t s);
+
+  /// Forward FLOPs of stage `s` (trunk + head), for the profiler and the
+  /// scheduler's stage cost model.
+  double stage_flops(std::size_t s) const;
+
+  /// Serialized parameter bytes of stage `s` (trunk + head) — what caching
+  /// a stage on a device costs in download/storage (paper §II-B, §IV-A).
+  std::size_t stage_param_bytes(std::size_t s);
+
+ private:
+  struct Stage {
+    std::unique_ptr<Sequential> trunk;
+    std::unique_ptr<Sequential> head;
+  };
+
+  StageOutput make_output(tensor::Tensor features, const tensor::Tensor& logits) const;
+
+  std::size_t num_classes_;
+  std::vector<Stage> stages_;
+};
+
+/// Configuration for the paper-style staged ResNet (Fig. 3: an initial
+/// convolution, then stages of residual blocks, each with a softmax head).
+struct StagedResNetConfig {
+  std::size_t in_channels = 3;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t num_classes = 10;
+  std::vector<std::size_t> stage_channels = {8, 16, 32};  ///< one entry per stage
+  std::size_t blocks_per_stage = 1;  ///< 3 matches the paper's 6-conv stages
+  float head_dropout = 0.0f;         ///< >0 enables MC-dropout (RDeepSense) heads
+  /// >0 inserts Dense(C→head_hidden)+ReLU before the classifier. The paper's
+  /// "thin softmax" heads sit on a much wider backbone; a small hidden layer
+  /// gives our narrow stages comparable per-sample confidence expressivity.
+  std::size_t head_hidden = 0;
+  bool downsample_between_stages = true;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the staged ResNet described by `config`.
+StagedModel build_staged_resnet(const StagedResNetConfig& config);
+
+/// Configuration for a staged MLP — multi-exit serving for non-image
+/// workloads (e.g. the DeepSense-style multichannel time-series windows of
+/// data/timeseries.hpp). The input tensor is flattened by the first stage.
+struct StagedMlpConfig {
+  std::size_t input_dim = 0;  ///< numel of one sample
+  std::size_t num_classes = 2;
+  std::vector<std::size_t> stage_widths = {32, 32, 32};  ///< one entry per stage
+  std::size_t layers_per_stage = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the staged MLP described by `config`: per stage,
+/// [Dense → ReLU] × layers_per_stage as the trunk and a Dense classifier
+/// head, chained feature-to-feature like the staged ResNet.
+StagedModel build_staged_mlp(const StagedMlpConfig& config);
+
+}  // namespace eugene::nn

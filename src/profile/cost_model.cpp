@@ -1,0 +1,103 @@
+#include "profile/cost_model.hpp"
+
+#include <cmath>
+
+#include "tensor/linalg.hpp"
+
+namespace eugene::profile {
+
+MobileConvCostModel::MobileConvCostModel(double alpha_per_element,
+                                         double peak_flops_per_ms,
+                                         double efficiency_knee)
+    : alpha_(alpha_per_element), peak_(peak_flops_per_ms), knee_(efficiency_knee) {
+  EUGENE_REQUIRE(alpha_ >= 0.0 && peak_ > 0.0 && knee_ >= 0.0,
+                 "MobileConvCostModel: invalid parameters");
+}
+
+double MobileConvCostModel::predict_ms(const tensor::Conv2dGeometry& g) const {
+  const double gather = static_cast<double>(g.in_channels) *
+                        static_cast<double>(g.out_height()) *
+                        static_cast<double>(g.out_width());
+  const double eff = static_cast<double>(g.out_channels) /
+                     (static_cast<double>(g.out_channels) + knee_);
+  return alpha_ * gather + g.flops() / (peak_ * eff);
+}
+
+MobileConvCostModel MobileConvCostModel::fit(
+    const std::vector<ConvMeasurement>& measurements) {
+  EUGENE_REQUIRE(measurements.size() >= 3,
+                 "MobileConvCostModel::fit: need at least three measurements");
+  double best_sse = std::numeric_limits<double>::infinity();
+  MobileConvCostModel best;
+  // With c₀ fixed, t = α·gather + (1/P)·flops/eff is linear in (α, 1/P).
+  for (double knee = 0.0; knee <= 64.0; knee += 1.0) {
+    tensor::Tensor x({measurements.size(), 2});
+    std::vector<double> y(measurements.size());
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      const auto& g = measurements[i].geometry;
+      const double gather = static_cast<double>(g.in_channels) *
+                            static_cast<double>(g.out_height()) *
+                            static_cast<double>(g.out_width());
+      const double eff = static_cast<double>(g.out_channels) /
+                         (static_cast<double>(g.out_channels) + knee);
+      // Scale features to O(1) so the float32 normal equations stay sane.
+      x.at(i, 0) = static_cast<float>(gather * 1e-6);
+      x.at(i, 1) = static_cast<float>(g.flops() / eff * 1e-9);
+      y[i] = measurements[i].time_ms;
+    }
+    std::vector<double> beta;
+    try {
+      beta = tensor::least_squares(x, y, 1e-8);
+    } catch (const Error&) {
+      continue;
+    }
+    if (beta[0] < 0.0 || beta[1] <= 0.0) continue;  // unphysical fit
+    const MobileConvCostModel candidate(beta[0] * 1e-6, 1e9 / beta[1], knee);
+    double sse = 0.0;
+    for (const auto& m : measurements) {
+      const double e = candidate.predict_ms(m.geometry) - m.time_ms;
+      sse += e * e;
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = candidate;
+    }
+  }
+  EUGENE_CHECK(std::isfinite(best_sse),
+               "MobileConvCostModel::fit: no physical fit found");
+  return best;
+}
+
+MobileConvCostModel MobileConvCostModel::nexus5_reference() {
+  // Fitted offline (same procedure as fit()) to the paper's Table I rows.
+  // Reproduces the published orderings: CNN2 ≈ 2.6× CNN1 at equal FLOPs,
+  // and CNN3 > CNN4 despite 23% fewer FLOPs.
+  std::vector<ConvMeasurement> table1;
+  const std::size_t configs[4][2] = {{8, 32}, {32, 8}, {66, 32}, {43, 64}};
+  const double times[4] = {114.9, 300.2, 908.3, 751.7};
+  for (int i = 0; i < 4; ++i) {
+    tensor::Conv2dGeometry g;
+    g.in_channels = configs[i][0];
+    g.out_channels = configs[i][1];
+    g.in_height = 224;
+    g.in_width = 224;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    table1.push_back({g, times[i]});
+  }
+  return fit(table1);
+}
+
+double MobileConvCostModel::mean_relative_error(
+    const std::vector<ConvMeasurement>& measurements) const {
+  EUGENE_REQUIRE(!measurements.empty(), "mean_relative_error: empty set");
+  double total = 0.0;
+  for (const auto& m : measurements) {
+    EUGENE_REQUIRE(m.time_ms > 0.0, "mean_relative_error: non-positive measurement");
+    total += std::abs(predict_ms(m.geometry) - m.time_ms) / m.time_ms;
+  }
+  return total / static_cast<double>(measurements.size());
+}
+
+}  // namespace eugene::profile

@@ -1,0 +1,60 @@
+// Analytic convolution cost model reproducing the Table I phenomenon:
+// execution time is NOT proportional to FLOPs.
+//
+// Mechanism (observed on mobile conv implementations and on our own im2col
+// kernels): time splits into a memory-bound patch-gathering term that scales
+// with C_in·H_out·W_out, and a compute term whose efficiency depends on the
+// GEMM's M dimension (= output channels) — few output channels leave SIMD /
+// cache tiles underfilled:
+//
+//   t(g) = α · C_in · H_out · W_out  +  FLOPs(g) / (P · eff(C_out)),
+//   eff(c) = c / (c + c₀).
+//
+// The three parameters (α, P, c₀) are fitted to measurements; a preset
+// fitted to the paper's published Nexus-5 numbers reproduces Table I's
+// orderings (equal FLOPs ⇒ 2.6× time gap; more FLOPs ⇒ less time).
+#pragma once
+
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace eugene::profile {
+
+/// One (geometry, measured ms) observation for fitting.
+struct ConvMeasurement {
+  tensor::Conv2dGeometry geometry;
+  double time_ms = 0.0;
+};
+
+/// The α/P/c₀ model described above.
+class MobileConvCostModel {
+ public:
+  MobileConvCostModel() = default;
+  MobileConvCostModel(double alpha_per_element, double peak_flops_per_ms,
+                      double efficiency_knee);
+
+  /// Predicted execution time in milliseconds.
+  double predict_ms(const tensor::Conv2dGeometry& geometry) const;
+
+  /// Fits the model to measurements: grid search over the efficiency knee
+  /// c₀, ordinary least squares for α and 1/P at each candidate.
+  static MobileConvCostModel fit(const std::vector<ConvMeasurement>& measurements);
+
+  /// Parameters fitted offline to the paper's Table I Nexus-5 timings.
+  static MobileConvCostModel nexus5_reference();
+
+  double alpha_per_element() const { return alpha_; }
+  double peak_flops_per_ms() const { return peak_; }
+  double efficiency_knee() const { return knee_; }
+
+  /// Mean relative prediction error over a measurement set.
+  double mean_relative_error(const std::vector<ConvMeasurement>& measurements) const;
+
+ private:
+  double alpha_ = 1e-4;   ///< ms per gathered input element
+  double peak_ = 1e7;     ///< FLOPs per ms at eff = 1
+  double knee_ = 8.0;     ///< c₀: output-channel count at 50% efficiency
+};
+
+}  // namespace eugene::profile

@@ -1,0 +1,190 @@
+#include "profile/linear_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "tensor/linalg.hpp"
+
+namespace eugene::profile {
+
+using tensor::Tensor;
+
+std::vector<double> PiecewiseLinearModel::fit_leaf(const std::vector<std::size_t>& rows,
+                                                   const Tensor& features,
+                                                   std::span<const double> targets) {
+  const std::size_t p = features.dim(1);
+  // Fall back to a constant model when the leaf is too small for a full fit.
+  if (rows.size() < p + 1) {
+    double m = 0.0;
+    for (std::size_t r : rows) m += targets[r];
+    std::vector<double> beta(p + 1, 0.0);
+    beta[0] = rows.empty() ? 0.0 : m / static_cast<double>(rows.size());
+    return beta;
+  }
+  Tensor x({rows.size(), p + 1});
+  std::vector<double> y(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    x.at(i, 0) = 1.0f;  // intercept
+    for (std::size_t j = 0; j < p; ++j) x.at(i, j + 1) = features.at(rows[i], j);
+    y[i] = targets[rows[i]];
+  }
+  return tensor::least_squares(x, y, 1e-6);
+}
+
+double PiecewiseLinearModel::leaf_sse(const std::vector<double>& beta,
+                                      const std::vector<std::size_t>& rows,
+                                      const Tensor& features,
+                                      std::span<const double> targets) {
+  const std::size_t p = features.dim(1);
+  double sse = 0.0;
+  for (std::size_t r : rows) {
+    double pred = beta[0];
+    for (std::size_t j = 0; j < p; ++j) pred += beta[j + 1] * features.at(r, j);
+    const double e = pred - targets[r];
+    sse += e * e;
+  }
+  return sse;
+}
+
+std::unique_ptr<PiecewiseLinearModel::Node> PiecewiseLinearModel::build(
+    const std::vector<std::size_t>& rows, const Tensor& features,
+    std::span<const double> targets, const RegionModelConfig& config,
+    std::size_t depth) const {
+  auto node = std::make_unique<Node>();
+  node->beta = fit_leaf(rows, features, targets);
+  if (depth >= config.max_depth || rows.size() < 2 * config.min_samples_per_leaf)
+    return node;
+
+  const double parent_sse = leaf_sse(node->beta, rows, features, targets);
+  const std::size_t p = features.dim(1);
+  double best_sse = parent_sse;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> best_left, best_right;
+
+  for (std::size_t f = 0; f < p; ++f) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (std::size_t r : rows) values.push_back(features.at(r, f));
+    std::sort(values.begin(), values.end());
+    for (std::size_t c = 1; c <= config.split_candidates; ++c) {
+      const std::size_t q = rows.size() * c / (config.split_candidates + 1);
+      if (q == 0 || q >= rows.size()) continue;
+      const double threshold = values[q];
+      std::vector<std::size_t> left, right;
+      for (std::size_t r : rows)
+        (features.at(r, f) <= threshold ? left : right).push_back(r);
+      if (left.size() < config.min_samples_per_leaf ||
+          right.size() < config.min_samples_per_leaf)
+        continue;
+      const auto bl = fit_leaf(left, features, targets);
+      const auto br = fit_leaf(right, features, targets);
+      const double sse = leaf_sse(bl, left, features, targets) +
+                         leaf_sse(br, right, features, targets);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_feature = f;
+        best_threshold = threshold;
+        best_left = std::move(left);
+        best_right = std::move(right);
+      }
+    }
+  }
+
+  // Require a meaningful improvement before splitting.
+  if (best_sse < parent_sse * 0.98 && !best_left.empty() && !best_right.empty()) {
+    node->split_feature = best_feature;
+    node->threshold = best_threshold;
+    node->left = build(best_left, features, targets, config, depth + 1);
+    node->right = build(best_right, features, targets, config, depth + 1);
+  }
+  return node;
+}
+
+void PiecewiseLinearModel::fit(const Tensor& features, std::span<const double> targets,
+                               const RegionModelConfig& config) {
+  EUGENE_REQUIRE(features.rank() == 2, "PiecewiseLinearModel: features must be [n, p]");
+  EUGENE_REQUIRE(features.dim(0) == targets.size(),
+                 "PiecewiseLinearModel: feature/target count mismatch");
+  EUGENE_REQUIRE(targets.size() >= 2, "PiecewiseLinearModel: need at least two samples");
+  num_features_ = features.dim(1);
+
+  // Standardize features to zero mean / unit scale before fitting.
+  feature_mean_.assign(num_features_, 0.0);
+  feature_scale_.assign(num_features_, 1.0);
+  const std::size_t n = features.dim(0);
+  for (std::size_t j = 0; j < num_features_; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += features.at(i, j);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = features.at(i, j) - m;
+      var += d * d;
+    }
+    feature_mean_[j] = m;
+    const double sd = std::sqrt(var / static_cast<double>(n));
+    feature_scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  Tensor standardized({n, num_features_});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < num_features_; ++j)
+      standardized.at(i, j) = static_cast<float>(
+          (features.at(i, j) - feature_mean_[j]) / feature_scale_[j]);
+
+  std::vector<std::size_t> rows(targets.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = build(rows, standardized, targets, config, 0);
+}
+
+double PiecewiseLinearModel::predict(std::span<const double> feature_row) const {
+  EUGENE_REQUIRE(fitted(), "PiecewiseLinearModel::predict before fit");
+  EUGENE_REQUIRE(feature_row.size() == num_features_,
+                 "PiecewiseLinearModel::predict: feature size mismatch");
+  std::vector<double> standardized(num_features_);
+  for (std::size_t j = 0; j < num_features_; ++j)
+    standardized[j] = (feature_row[j] - feature_mean_[j]) / feature_scale_[j];
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = standardized[node->split_feature] <= node->threshold ? node->left.get()
+                                                                : node->right.get();
+  }
+  double pred = node->beta[0];
+  for (std::size_t j = 0; j < num_features_; ++j)
+    pred += node->beta[j + 1] * standardized[j];
+  return pred;
+}
+
+std::size_t PiecewiseLinearModel::num_regions() const {
+  if (!root_) return 0;
+  // Depth-first leaf count.
+  std::size_t leaves = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf()) {
+      ++leaves;
+    } else {
+      stack.push_back(n->left.get());
+      stack.push_back(n->right.get());
+    }
+  }
+  return leaves;
+}
+
+double PiecewiseLinearModel::r_squared(const Tensor& features,
+                                       std::span<const double> targets) const {
+  EUGENE_REQUIRE(features.dim(0) == targets.size(),
+                 "r_squared: feature/target count mismatch");
+  std::vector<double> preds(targets.size());
+  std::vector<double> row(num_features_);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (std::size_t j = 0; j < num_features_; ++j) row[j] = features.at(i, j);
+    preds[i] = predict(row);
+  }
+  return eugene::r_squared(targets, preds);
+}
+
+}  // namespace eugene::profile

@@ -1,0 +1,76 @@
+// Piecewise-linear execution-time regression (FastDeepIoT, paper §II-C):
+// "an automated profiling system that breaks execution models into
+// piece-wise linear regions, and uses regression over the relevant neural
+// network parameters within each region."
+//
+// Implemented as a depth-limited regression tree whose leaves are ordinary
+// least-squares linear models. Splits are chosen to minimize the summed
+// squared error of the two child fits.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace eugene::profile {
+
+/// Fitting knobs.
+struct RegionModelConfig {
+  std::size_t max_depth = 3;         ///< at most 2^depth linear regions
+  std::size_t min_samples_per_leaf = 8;
+  std::size_t split_candidates = 16;  ///< quantile thresholds tried per feature
+};
+
+/// Piecewise-linear regression over feature vectors.
+class PiecewiseLinearModel {
+ public:
+  /// Fits to rows of `features` ([n, p]) against `targets` (n).
+  void fit(const tensor::Tensor& features, std::span<const double> targets,
+           const RegionModelConfig& config = {});
+
+  /// Predicted target for one feature vector.
+  double predict(std::span<const double> feature_row) const;
+
+  bool fitted() const { return root_ != nullptr; }
+  std::size_t num_regions() const;
+
+  /// R² on a held-out set.
+  double r_squared(const tensor::Tensor& features, std::span<const double> targets) const;
+
+ private:
+  struct Node {
+    // Internal node:
+    std::size_t split_feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;   ///< feature <= threshold
+    std::unique_ptr<Node> right;  ///< feature > threshold
+    // Leaf:
+    std::vector<double> beta;  ///< intercept followed by p coefficients
+
+    bool is_leaf() const { return left == nullptr; }
+  };
+
+  std::unique_ptr<Node> build(const std::vector<std::size_t>& rows,
+                              const tensor::Tensor& features,
+                              std::span<const double> targets,
+                              const RegionModelConfig& config, std::size_t depth) const;
+
+  static std::vector<double> fit_leaf(const std::vector<std::size_t>& rows,
+                                      const tensor::Tensor& features,
+                                      std::span<const double> targets);
+  static double leaf_sse(const std::vector<double>& beta,
+                         const std::vector<std::size_t>& rows,
+                         const tensor::Tensor& features, std::span<const double> targets);
+
+  std::unique_ptr<Node> root_;
+  std::size_t num_features_ = 0;
+  // Per-feature standardization fitted on the training data; raw execution
+  // features (e.g. FLOPs ~1e9 next to channel counts ~10) would otherwise
+  // wreck the conditioning of the leaf least-squares problems.
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace eugene::profile

@@ -1,0 +1,29 @@
+// Execution timing harness (paper §II-C "Execution Profiling").
+//
+// Measures real wall-clock forward times of Eugene's kernels and layers so
+// the profiler's predictive models can be fitted to *this* machine, the way
+// FastDeepIoT profiled the Nexus 5.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace eugene::profile {
+
+/// Timing controls. Median over `repeats` runs after `warmup` runs.
+struct TimingConfig {
+  std::size_t warmup = 1;
+  std::size_t repeats = 5;
+  std::uint64_t seed = 21;
+};
+
+/// Median forward time of a conv2d with the given geometry on random data.
+double measure_conv_ms(const tensor::Conv2dGeometry& geometry,
+                       const TimingConfig& config = {});
+
+/// Median forward time of an arbitrary layer on a random input of the given
+/// shape.
+double measure_layer_ms(nn::Layer& layer, const tensor::Shape& input_shape,
+                        const TimingConfig& config = {});
+
+}  // namespace eugene::profile

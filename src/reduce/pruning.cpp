@@ -1,0 +1,142 @@
+#include "reduce/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eugene::reduce {
+
+using tensor::Tensor;
+
+std::size_t prune_edges_by_magnitude(Tensor& weights, double fraction) {
+  EUGENE_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "prune_edges_by_magnitude: fraction outside [0,1]");
+  const std::size_t n = weights.numel();
+  const std::size_t to_zero = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  if (to_zero == 0) return 0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + to_zero - 1, order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::abs(weights.data()[a]) < std::abs(weights.data()[b]);
+                   });
+  for (std::size_t i = 0; i < to_zero; ++i) weights.data()[order[i]] = 0.0f;
+  return to_zero;
+}
+
+double sparsity(const Tensor& weights) {
+  EUGENE_REQUIRE(weights.numel() > 0, "sparsity: empty tensor");
+  std::size_t zeros = 0;
+  for (float v : weights.data())
+    if (v == 0.0f) ++zeros;
+  return static_cast<double>(zeros) / static_cast<double>(weights.numel());
+}
+
+std::vector<double> channel_importance(nn::Conv2d& conv) {
+  const std::size_t out_channels = conv.geometry().out_channels;
+  const std::size_t cols = conv.weights().dim(1);
+  std::vector<double> importance(out_channels, 0.0);
+  for (std::size_t oc = 0; oc < out_channels; ++oc)
+    for (std::size_t j = 0; j < cols; ++j)
+      importance[oc] += std::abs(conv.weights().at(oc, j));
+  return importance;
+}
+
+namespace {
+
+/// Indices of the `keep` most important channels, in ascending order (so the
+/// reduced model preserves relative channel layout).
+std::vector<std::size_t> top_channels(const std::vector<double>& importance,
+                                      std::size_t keep) {
+  std::vector<std::size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return importance[a] > importance[b];
+                    });
+  std::vector<std::size_t> kept(order.begin(), order.begin() + keep);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace
+
+SimpleCnn prune_channels(SimpleCnn& source, double keep_fraction,
+                         std::size_t min_channels) {
+  EUGENE_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                 "prune_channels: keep_fraction outside (0,1]");
+
+  // Choose surviving channels per conv layer.
+  const std::size_t num_layers = source.num_conv_layers();
+  std::vector<std::vector<std::size_t>> kept(num_layers);
+  SimpleCnnConfig reduced_cfg = source.config();
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const auto importance = channel_importance(source.conv(l));
+    const std::size_t keep = std::max(
+        min_channels, static_cast<std::size_t>(
+                          std::ceil(keep_fraction * static_cast<double>(importance.size()))));
+    EUGENE_REQUIRE(keep <= importance.size(), "prune_channels: min_channels too large");
+    kept[l] = top_channels(importance, keep);
+    reduced_cfg.conv_channels[l] = keep;
+  }
+
+  SimpleCnn reduced(reduced_cfg);
+
+  // Copy surviving weights. Conv weight layout: [C_out, C_in·k·k] with the
+  // column index (c_in·k + ky)·k + kx; removing an input channel removes a
+  // contiguous k·k block per row.
+  const std::size_t k2 =
+      source.conv(0).geometry().kernel * source.conv(0).geometry().kernel;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    nn::Conv2d& src = source.conv(l);
+    nn::Conv2d& dst = reduced.conv(l);
+    const std::vector<std::size_t> in_kept =
+        l == 0 ? [&] {
+          std::vector<std::size_t> all(src.geometry().in_channels);
+          std::iota(all.begin(), all.end(), 0);
+          return all;
+        }()
+               : kept[l - 1];
+    for (std::size_t r = 0; r < kept[l].size(); ++r) {
+      const std::size_t src_row = kept[l][r];
+      for (std::size_t c = 0; c < in_kept.size(); ++c) {
+        const std::size_t src_col0 = in_kept[c] * k2;
+        for (std::size_t j = 0; j < k2; ++j)
+          dst.weights().at(r, c * k2 + j) = src.weights().at(src_row, src_col0 + j);
+      }
+      dst.bias().at(r) = src.bias().at(src_row);
+    }
+    // ChannelNorm gain/bias for surviving channels (the final conv block
+    // has no norm; see SimpleCnn's constructor).
+    if (l + 1 < num_layers) {
+      auto src_params = source.norm(l).params();
+      auto dst_params = reduced.norm(l).params();
+      for (std::size_t r = 0; r < kept[l].size(); ++r) {
+        dst_params[0].value->at(r) = src_params[0].value->at(kept[l][r]);
+        dst_params[1].value->at(r) = src_params[1].value->at(kept[l][r]);
+      }
+    }
+  }
+
+  // Dense head: columns follow the last conv layer's surviving channels.
+  nn::Dense& src_head = source.head();
+  nn::Dense& dst_head = reduced.head();
+  const auto& last_kept = kept[num_layers - 1];
+  for (std::size_t row = 0; row < src_head.out_features(); ++row) {
+    for (std::size_t c = 0; c < last_kept.size(); ++c)
+      dst_head.weights().at(row, c) = src_head.weights().at(row, last_kept[c]);
+    dst_head.bias().at(row) = src_head.bias().at(row);
+  }
+  return reduced;
+}
+
+void finetune(SimpleCnn& model, const data::Dataset& train_set,
+              const nn::ClassifierTrainConfig& config) {
+  nn::train_classifier(model.net(), train_set.samples, train_set.labels, config);
+}
+
+double accuracy(SimpleCnn& model, const data::Dataset& dataset) {
+  return nn::classifier_accuracy(model.net(), dataset.samples, dataset.labels);
+}
+
+}  // namespace eugene::reduce

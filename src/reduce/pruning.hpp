@@ -1,0 +1,39 @@
+// Model reduction (paper §II-B): edge pruning vs node (channel) pruning.
+//
+// Edge pruning zeroes the smallest-magnitude weights, producing a sparse
+// matrix whose computational savings do NOT scale with sparsity (see
+// sparse.hpp and bench_reduction). Node pruning — the DeepIoT approach the
+// paper endorses — removes whole channels, yielding a smaller *dense* model
+// that is proportionally cheaper.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/train.hpp"
+#include "reduce/simple_cnn.hpp"
+
+namespace eugene::reduce {
+
+/// Zeroes the `fraction` of entries with the smallest |w| in `weights`.
+/// Returns the number of entries zeroed.
+std::size_t prune_edges_by_magnitude(tensor::Tensor& weights, double fraction);
+
+/// Fraction of exactly-zero entries.
+double sparsity(const tensor::Tensor& weights);
+
+/// Per-channel importance of a conv layer: L1 norm of each output filter.
+std::vector<double> channel_importance(nn::Conv2d& conv);
+
+/// Builds a new SimpleCnn keeping the ceil(keep_fraction · C) most important
+/// channels of every conv layer (at least `min_channels`), copying the
+/// surviving weights so the reduced model starts near the original.
+SimpleCnn prune_channels(SimpleCnn& source, double keep_fraction,
+                         std::size_t min_channels = 2);
+
+/// Post-pruning fine-tuning (thin wrapper over the generic trainer).
+void finetune(SimpleCnn& model, const data::Dataset& train_set,
+              const nn::ClassifierTrainConfig& config);
+
+/// Accuracy of a SimpleCnn on a dataset.
+double accuracy(SimpleCnn& model, const data::Dataset& dataset);
+
+}  // namespace eugene::reduce

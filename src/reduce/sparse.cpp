@@ -1,0 +1,56 @@
+#include "reduce/sparse.hpp"
+
+#include "common/error.hpp"
+
+namespace eugene::reduce {
+
+using tensor::Tensor;
+
+CsrMatrix CsrMatrix::from_dense(const Tensor& dense) {
+  EUGENE_REQUIRE(dense.rank() == 2, "CsrMatrix: expected a matrix");
+  CsrMatrix m;
+  m.rows_ = dense.dim(0);
+  m.cols_ = dense.dim(1);
+  m.row_ptr_.reserve(m.rows_ + 1);
+  m.row_ptr_.push_back(0);
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    for (std::size_t j = 0; j < m.cols_; ++j) {
+      const float v = dense.at(i, j);
+      if (v != 0.0f) {
+        m.values_.push_back(v);
+        m.col_idx_.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    m.row_ptr_.push_back(static_cast<std::uint32_t>(m.values_.size()));
+  }
+  return m;
+}
+
+std::vector<float> CsrMatrix::multiply(std::span<const float> x) const {
+  EUGENE_REQUIRE(x.size() == cols_, "CsrMatrix::multiply: dimension mismatch");
+  std::vector<float> y(rows_, 0.0f);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    float acc = 0.0f;
+    for (std::uint32_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> dense_multiply(const Tensor& a, std::span<const float> x) {
+  EUGENE_REQUIRE(a.rank() == 2, "dense_multiply: expected a matrix");
+  EUGENE_REQUIRE(x.size() == a.dim(1), "dense_multiply: dimension mismatch");
+  const std::size_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<float> y(rows, 0.0f);
+  const float* ap = a.raw();
+  for (std::size_t i = 0; i < rows; ++i) {
+    float acc = 0.0f;
+    const float* row = ap + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace eugene::reduce

@@ -1,0 +1,224 @@
+#include "sched/live.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "common/channel.hpp"
+#include "common/clock.hpp"
+#include "common/fifo_channel.hpp"
+#include "common/logging.hpp"
+#include "nn/serialize.hpp"
+
+namespace eugene::sched {
+
+using tensor::Tensor;
+
+std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
+    nn::StagedModel& source, const std::function<nn::StagedModel()>& build,
+    std::size_t count) {
+  EUGENE_REQUIRE(count > 0, "replicate_staged_model: count must be positive");
+  std::stringstream weights;
+  nn::save_params(source.params(), weights);
+  std::vector<std::unique_ptr<nn::StagedModel>> replicas;
+  replicas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto model = std::make_unique<nn::StagedModel>(build());
+    weights.clear();
+    weights.seekg(0);
+    nn::load_params(model->params(), weights);
+    replicas.push_back(std::move(model));
+  }
+  return replicas;
+}
+
+namespace {
+
+/// Scheduler → worker: run stage `stage` of task `task_id` on `features`.
+struct Job {
+  std::size_t task_id = 0;
+  std::size_t stage = 0;
+  Tensor features;  ///< previous stage output (or the raw input for stage 0)
+};
+
+/// Worker → scheduler: the paper's end-of-stage report, plus the features
+/// the next stage needs (kept in-process; only the StageReport crosses the
+/// paper's named pipe).
+struct WorkerResult {
+  std::size_t worker = 0;
+  StageReport report;
+  Tensor features;
+};
+
+struct LiveTaskState {
+  Tensor features;
+  std::vector<double> observed_confidence;
+  std::size_t stages_done = 0;
+  std::size_t last_label = 0;
+  bool running = false;
+  bool done = false;
+  bool expired = false;
+  double submit_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+}  // namespace
+
+std::vector<LiveTaskResult> run_live(
+    std::vector<std::unique_ptr<nn::StagedModel>>& worker_models,
+    const gp::ConfidenceCurveModel& curves, const std::vector<Tensor>& inputs,
+    const LiveConfig& config) {
+  EUGENE_REQUIRE(!worker_models.empty(), "run_live: need at least one worker model");
+  EUGENE_REQUIRE(!inputs.empty(), "run_live: empty input batch");
+  const std::size_t num_workers = worker_models.size();
+  const std::size_t num_stages = worker_models.front()->num_stages();
+
+  GpUtilityEstimator estimator(curves);
+  GreedyUtilityPolicy policy(estimator, config.lookahead);
+
+  std::vector<Channel<Job>> job_channels(num_workers);
+  Channel<WorkerResult> results;
+
+  // Worker threads: block on their job channel, run one stage on their own
+  // replica, report (task, stage, label, confidence) back.
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      nn::StagedModel& model = *worker_models[w];
+      while (auto job = job_channels[w].receive()) {
+        nn::StageOutput out = model.run_stage(job->stage, job->features);
+        WorkerResult res;
+        res.worker = w;
+        res.report.task_id = static_cast<std::uint32_t>(job->task_id);
+        res.report.stage = static_cast<std::uint32_t>(job->stage);
+        res.report.predicted_label = static_cast<std::uint32_t>(out.predicted_label);
+        res.report.confidence = out.confidence;
+        res.features = std::move(out.features);
+        results.send(std::move(res));
+      }
+    });
+  }
+
+  WallClock clock;
+  std::vector<LiveTaskState> tasks(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    tasks[i].features = inputs[i];
+    tasks[i].submit_ms = clock.now_ms();
+  }
+
+  std::vector<bool> worker_busy(num_workers, false);
+  std::size_t unfinished = inputs.size();
+
+  auto expire_if_due = [&](std::size_t i) {
+    LiveTaskState& t = tasks[i];
+    if (t.done || t.running) return;
+    if (clock.now_ms() - t.submit_ms >= config.deadline_ms) {
+      // Latency daemon: the task leaves the system with its current result.
+      t.done = true;
+      t.expired = true;
+      t.finish_ms = clock.now_ms();
+      --unfinished;
+    }
+  };
+
+  auto dispatch = [&]() {
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      if (worker_busy[w]) continue;
+      std::vector<TaskView> runnable;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        expire_if_due(i);
+        const LiveTaskState& t = tasks[i];
+        if (t.done || t.running || t.stages_done >= num_stages) continue;
+        TaskView v;
+        v.task_id = i;
+        v.service = 0;
+        v.stages_done = t.stages_done;
+        v.total_stages = num_stages;
+        v.arrival_ms = t.submit_ms;
+        v.deadline_ms = t.submit_ms + config.deadline_ms;
+        v.observed_confidence = t.observed_confidence;
+        runnable.push_back(v);
+      }
+      if (runnable.empty()) return;
+      const auto choice = policy.pick(runnable, clock.now_ms());
+      if (!choice.has_value()) return;
+      LiveTaskState& t = tasks[*choice];
+      t.running = true;
+      Job job;
+      job.task_id = *choice;
+      job.stage = t.stages_done;
+      job.features = t.features;
+      worker_busy[w] = true;
+      job_channels[w].send(std::move(job));
+    }
+  };
+
+  dispatch();
+  while (unfinished > 0) {
+    // If everything left is waiting on deadlines rather than workers, poll.
+    bool any_running = false;
+    for (const auto& t : tasks) any_running |= t.running;
+    if (!any_running) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) expire_if_due(i);
+      dispatch();
+      bool still_none = true;
+      for (const auto& t : tasks) still_none &= !t.running;
+      if (still_none && unfinished > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+    if (unfinished == 0) break;
+
+    auto res = results.receive();
+    EUGENE_CHECK(res.has_value(), "live scheduler: result channel closed early");
+    worker_busy[res->worker] = false;
+    LiveTaskState& t = tasks[res->report.task_id];
+    t.running = false;
+    const double now = clock.now_ms();
+    const bool late = now - t.submit_ms >= config.deadline_ms;
+    if (!t.done) {
+      if (!late) {
+        // In-deadline result: accept it.
+        ++t.stages_done;
+        t.observed_confidence.push_back(res->report.confidence);
+        t.last_label = res->report.predicted_label;
+        t.features = std::move(res->features);
+        policy.on_stage_complete(res->report.task_id, res->report.stage,
+                                 res->report.confidence);
+        if (t.stages_done == num_stages ||
+            res->report.confidence >= config.early_exit_confidence) {
+          t.done = true;
+          t.finish_ms = now;
+          --unfinished;
+        }
+      } else {
+        // The daemon's stage-granularity kill: discard the late result.
+        t.done = true;
+        t.expired = true;
+        t.finish_ms = now;
+        --unfinished;
+      }
+    }
+    dispatch();
+  }
+
+  for (auto& ch : job_channels) ch.close();
+  for (auto& th : workers) th.join();
+  results.close();
+
+  std::vector<LiveTaskResult> out(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out[i].task_id = i;
+    out[i].label = tasks[i].last_label;
+    out[i].confidence = tasks[i].observed_confidence.empty()
+                            ? 0.0
+                            : tasks[i].observed_confidence.back();
+    out[i].stages_run = tasks[i].stages_done;
+    out[i].expired = tasks[i].expired;
+    out[i].latency_ms = tasks[i].finish_ms - tasks[i].submit_ms;
+  }
+  return out;
+}
+
+}  // namespace eugene::sched

@@ -1,0 +1,55 @@
+// Live scheduling mode: real staged-model inference on a worker pool, with
+// end-of-stage confidence reports flowing to the user-space scheduler over a
+// channel — the in-process mirror of the paper's process pool + Linux named
+// pipes + latency daemon (Section III).
+//
+// Differences from the paper's deployment, by design (DESIGN.md §2):
+//   * workers are threads with per-worker model replicas, not processes;
+//   * a running stage cannot be interrupted mid-kernel, so the latency
+//     daemon expires tasks at stage granularity: late results are discarded
+//     and the task emits the last in-deadline result.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gp/confidence_curve.hpp"
+#include "nn/staged_model.hpp"
+#include "sched/policy.hpp"
+
+namespace eugene::sched {
+
+/// Live-mode knobs.
+struct LiveConfig {
+  double deadline_ms = std::numeric_limits<double>::infinity();  ///< per task
+  double early_exit_confidence = 2.0;  ///< >1 disables early exit
+  std::size_t lookahead = 1;           ///< RTDeepIoT k
+};
+
+/// Final outcome of one live task.
+struct LiveTaskResult {
+  std::size_t task_id = 0;
+  std::size_t label = 0;          ///< last emitted prediction
+  double confidence = 0.0;
+  std::size_t stages_run = 0;
+  bool expired = false;           ///< deadline reached before all stages
+  double latency_ms = 0.0;        ///< submission to final result
+};
+
+/// Runs a batch of inputs through per-worker replicas of a staged model,
+/// scheduling stage executions with RTDeepIoT's greedy utility policy.
+///
+/// `worker_models` — one replica per worker, identical weights (use
+/// replicate_staged_model). `curves` drives the utility estimates.
+std::vector<LiveTaskResult> run_live(
+    std::vector<std::unique_ptr<nn::StagedModel>>& worker_models,
+    const gp::ConfidenceCurveModel& curves,
+    const std::vector<tensor::Tensor>& inputs, const LiveConfig& config);
+
+/// Builds `count` architecture-identical replicas of `source` (constructed
+/// via `build` and weight-copied through serialization).
+std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
+    nn::StagedModel& source, const std::function<nn::StagedModel()>& build,
+    std::size_t count);
+
+}  // namespace eugene::sched

@@ -1,0 +1,178 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eugene::sched {
+
+// ------------------------------------------------------ GreedyUtilityPolicy
+
+GreedyUtilityPolicy::GreedyUtilityPolicy(const UtilityEstimator& estimator,
+                                         std::size_t lookahead)
+    : estimator_(estimator), lookahead_(lookahead) {
+  EUGENE_REQUIRE(lookahead >= 1, "GreedyUtilityPolicy: lookahead must be >= 1");
+}
+
+void GreedyUtilityPolicy::set_service_weights(std::vector<double> weights) {
+  for (double w : weights)
+    EUGENE_REQUIRE(w > 0.0, "set_service_weights: weights must be positive");
+  service_weights_ = std::move(weights);
+}
+
+void GreedyUtilityPolicy::set_stage_cost_hint(double stage_ms) {
+  EUGENE_REQUIRE(stage_ms >= 0.0, "set_stage_cost_hint: negative stage time");
+  stage_cost_hint_ms_ = stage_ms;
+}
+
+std::string GreedyUtilityPolicy::name() const {
+  return "RTDeepIoT(" + estimator_.name() + ")-" + std::to_string(lookahead_);
+}
+
+void GreedyUtilityPolicy::plan(const std::vector<TaskView>& runnable, double now_ms) {
+  timeline_.clear();
+
+  // Per-task hypothetical state: confidence history extended by predicted
+  // values as the plan commits stages to the timeline.
+  struct Hypothetical {
+    std::size_t task_id;
+    std::size_t service;
+    std::size_t total_stages;
+    double arrival_ms;
+    std::vector<double> conf;  ///< observed then predicted
+  };
+  std::vector<Hypothetical> state;
+  state.reserve(runnable.size());
+  for (const auto& t : runnable) {
+    // Deadline feasibility: never plan a stage that cannot complete
+    // ("no utility is accrued for tasks that are not completed").
+    if (stage_cost_hint_ms_ > 0.0 && now_ms + stage_cost_hint_ms_ > t.deadline_ms)
+      continue;
+    Hypothetical h;
+    h.task_id = t.task_id;
+    h.service = t.service;
+    h.total_stages = t.total_stages;
+    h.arrival_ms = t.arrival_ms;
+    h.conf.assign(t.observed_confidence.begin(), t.observed_confidence.end());
+    state.push_back(std::move(h));
+  }
+
+  for (std::size_t step = 0; step < lookahead_; ++step) {
+    // Utilities may be negative (the estimator can predict a confidence
+    // drop); the greedy rule still picks the max, so the floor is -inf.
+    double best_utility = -std::numeric_limits<double>::infinity();
+    Hypothetical* best = nullptr;
+    for (auto& h : state) {
+      if (h.conf.size() >= h.total_stages) continue;  // plan already completes it
+      const double predicted =
+          estimator_.predict_confidence_after(h.conf, h.conf.size());
+      const double current = h.conf.empty() ? 0.0 : h.conf.back();
+      const double utility = (predicted - current) * service_weight(h.service);
+      // Utility ties are common (every cold task shares the same prior);
+      // breaking them by iteration order would systematically starve
+      // higher-numbered services, so ties go to the earliest arrival.
+      constexpr double kTie = 1e-12;
+      const bool wins = best == nullptr || utility > best_utility + kTie ||
+                        (utility > best_utility - kTie &&
+                         h.arrival_ms < best->arrival_ms);
+      if (wins) {
+        best_utility = std::max(utility, best_utility);
+        best = &h;
+      }
+    }
+    if (best == nullptr) break;  // every runnable task fully planned
+    timeline_.push_back(best->task_id);
+    best->conf.push_back(
+        estimator_.predict_confidence_after(best->conf, best->conf.size()));
+  }
+}
+
+std::optional<std::size_t> GreedyUtilityPolicy::pick(
+    const std::vector<TaskView>& runnable, double now_ms) {
+  if (runnable.empty()) return std::nullopt;
+
+  // Serve the planned timeline first. Entries whose task is temporarily
+  // blocked (its previous stage is still executing on another worker) are
+  // kept in place for a later pick; only the entry actually dispatched is
+  // removed.
+  for (auto it = timeline_.begin(); it != timeline_.end(); ++it) {
+    const std::size_t id = *it;
+    const bool runnable_now =
+        std::any_of(runnable.begin(), runnable.end(),
+                    [id](const TaskView& t) { return t.task_id == id; });
+    if (runnable_now) {
+      timeline_.erase(it);
+      return id;
+    }
+  }
+
+  // No dispatchable entry left: replan "with the most recent utility
+  // estimates" (stale entries for finished or still-running tasks are
+  // discarded; running tasks re-enter consideration once their stage ends).
+  plan(runnable, now_ms);
+  if (timeline_.empty()) return std::nullopt;
+  const std::size_t id = timeline_.front();
+  timeline_.pop_front();
+  return id;
+}
+
+void GreedyUtilityPolicy::on_stage_complete(std::size_t /*task_id*/, std::size_t /*stage*/,
+                                            double /*confidence*/) {
+  // Lookahead semantics (paper §III): the planned timeline runs to
+  // exhaustion before replanning, so fresh observations are deliberately
+  // not folded in mid-plan — that staleness is exactly what the k sweep
+  // in Fig. 4a measures.
+}
+
+// --------------------------------------------------------- RoundRobinPolicy
+
+std::optional<std::size_t> RoundRobinPolicy::pick(const std::vector<TaskView>& runnable,
+                                                  double /*now_ms*/) {
+  if (runnable.empty()) return std::nullopt;
+  // Pick the runnable task whose service id is the smallest value >=
+  // next_service_ (cyclically); within a service, the earliest arrival.
+  const TaskView* best = nullptr;
+  auto cyclic_key = [this](std::size_t service) {
+    return service >= next_service_ ? service - next_service_
+                                    : service + (1u << 20) - next_service_;
+  };
+  for (const auto& t : runnable) {
+    if (best == nullptr || cyclic_key(t.service) < cyclic_key(best->service) ||
+        (t.service == best->service && t.arrival_ms < best->arrival_ms)) {
+      best = &t;
+    }
+  }
+  next_service_ = best->service + 1;
+  return best->task_id;
+}
+
+// --------------------------------------------------------------- FifoPolicy
+
+std::optional<std::size_t> FifoPolicy::pick(const std::vector<TaskView>& runnable,
+                                            double /*now_ms*/) {
+  if (runnable.empty()) return std::nullopt;
+  const TaskView* best = &runnable.front();
+  for (const auto& t : runnable) {
+    if (t.arrival_ms < best->arrival_ms ||
+        (t.arrival_ms == best->arrival_ms && t.task_id < best->task_id)) {
+      best = &t;
+    }
+  }
+  return best->task_id;
+}
+
+// ----------------------------------------------------- EarliestDeadlinePolicy
+
+std::optional<std::size_t> EarliestDeadlinePolicy::pick(
+    const std::vector<TaskView>& runnable, double /*now_ms*/) {
+  if (runnable.empty()) return std::nullopt;
+  const TaskView* best = &runnable.front();
+  for (const auto& t : runnable) {
+    if (t.deadline_ms < best->deadline_ms ||
+        (t.deadline_ms == best->deadline_ms && t.arrival_ms < best->arrival_ms)) {
+      best = &t;
+    }
+  }
+  return best->task_id;
+}
+
+}  // namespace eugene::sched

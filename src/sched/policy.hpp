@@ -1,0 +1,112 @@
+// Scheduling policies (paper Section III-C "Runtime Scheduling"):
+//
+//   GreedyUtilityPolicy  — RTDeepIoT-k: greedy max-differential-utility with a
+//                          lookahead-k planned timeline
+//   RoundRobinPolicy     — RR: stage-level round robin over services
+//   FifoPolicy           — FIFO: run every stage of the earliest arrival
+//   EarliestDeadlinePolicy — EDF extension (not in the paper's comparison,
+//                          kept as an ablation baseline)
+//
+// A policy is consulted whenever a worker frees up; it picks which runnable
+// task should execute its next stage.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sched/utility.hpp"
+
+namespace eugene::sched {
+
+/// Picks the next task to advance by one stage.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Returns the task_id (from `runnable`) whose next stage should run, or
+  /// std::nullopt to leave the worker idle. `runnable` contains arrived,
+  /// unfinished, not-currently-executing tasks with stages remaining.
+  virtual std::optional<std::size_t> pick(const std::vector<TaskView>& runnable,
+                                          double now_ms) = 0;
+
+  /// Invoked by the engine when a stage finishes and reveals its confidence.
+  virtual void on_stage_complete(std::size_t /*task_id*/, std::size_t /*stage*/,
+                                 double /*confidence*/) {}
+
+  /// Clears internal state between simulation runs.
+  virtual void reset() {}
+
+  virtual std::string name() const = 0;
+};
+
+/// RTDeepIoT-k. Plans a timeline of k stage selections by greedy
+/// differential utility, chaining the estimator over hypothetical
+/// executions; replans when the timeline is exhausted or invalidated.
+class GreedyUtilityPolicy final : public SchedulingPolicy {
+ public:
+  /// `estimator` must outlive the policy. `lookahead` is the paper's k.
+  GreedyUtilityPolicy(const UtilityEstimator& estimator, std::size_t lookahead);
+
+  /// Multi-service-class extension (paper §V future work): utility of a
+  /// stage is scaled by its service's weight, so latency-critical classes
+  /// (e.g. an interactive chatbot) outbid tolerant ones. Services beyond
+  /// the vector default to weight 1.
+  void set_service_weights(std::vector<double> weights);
+
+  /// Deadline feasibility: with a per-stage execution-time hint, the
+  /// planner skips tasks whose next stage cannot finish before their
+  /// deadline — "no utility is accrued for tasks that are not completed"
+  /// (paper §III), so starting a doomed stage only wastes a worker.
+  /// 0 disables the check (default).
+  void set_stage_cost_hint(double stage_ms);
+
+  std::optional<std::size_t> pick(const std::vector<TaskView>& runnable,
+                                  double now_ms) override;
+  void on_stage_complete(std::size_t task_id, std::size_t stage,
+                         double confidence) override;
+  void reset() override { timeline_.clear(); }
+  std::string name() const override;
+
+ private:
+  void plan(const std::vector<TaskView>& runnable, double now_ms);
+
+  double service_weight(std::size_t service) const {
+    return service < service_weights_.size() ? service_weights_[service] : 1.0;
+  }
+
+  const UtilityEstimator& estimator_;
+  std::size_t lookahead_;
+  std::vector<double> service_weights_;
+  double stage_cost_hint_ms_ = 0.0;
+  std::deque<std::size_t> timeline_;  ///< planned task ids, in execution order
+};
+
+/// Stage-level round robin across services.
+class RoundRobinPolicy final : public SchedulingPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<TaskView>& runnable,
+                                  double now_ms) override;
+  void reset() override { next_service_ = 0; }
+  std::string name() const override { return "RR"; }
+
+ private:
+  std::size_t next_service_ = 0;
+};
+
+/// First come, first served; every stage runs to the end.
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<TaskView>& runnable,
+                                  double now_ms) override;
+  std::string name() const override { return "FIFO"; }
+};
+
+/// Earliest absolute deadline first (ablation extension).
+class EarliestDeadlinePolicy final : public SchedulingPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<TaskView>& runnable,
+                                  double now_ms) override;
+  std::string name() const override { return "EDF"; }
+};
+
+}  // namespace eugene::sched

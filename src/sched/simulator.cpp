@@ -1,0 +1,221 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/stats.hpp"
+
+namespace eugene::sched {
+
+double SimulationResult::mean_accuracy() const {
+  EUGENE_REQUIRE(!services.empty(), "mean_accuracy: no services");
+  double sum = 0.0;
+  for (const auto& s : services) sum += s.accuracy();
+  return sum / static_cast<double>(services.size());
+}
+
+double SimulationResult::std_accuracy() const {
+  EUGENE_REQUIRE(!services.empty(), "std_accuracy: no services");
+  std::vector<double> acc;
+  acc.reserve(services.size());
+  for (const auto& s : services) acc.push_back(s.accuracy());
+  return stddev(acc);
+}
+
+double SimulationResult::mean_stages_per_task() const {
+  std::size_t tasks = 0, stages = 0;
+  for (const auto& s : services) {
+    tasks += s.tasks;
+    stages += s.stages_executed;
+  }
+  return tasks == 0 ? 0.0 : static_cast<double>(stages) / static_cast<double>(tasks);
+}
+
+namespace {
+
+enum class EventKind { Arrival, StageDone, Deadline };
+
+struct Event {
+  double time_ms = 0.0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for determinism
+  EventKind kind = EventKind::Arrival;
+  std::size_t task_index = 0;
+  std::uint64_t epoch = 0;  ///< StageDone validity check (abort support)
+
+  bool operator>(const Event& other) const {
+    if (time_ms != other.time_ms) return time_ms > other.time_ms;
+    return seq > other.seq;
+  }
+};
+
+struct TaskRuntime {
+  const TaskSpec* spec = nullptr;
+  std::size_t stages_done = 0;
+  bool arrived = false;
+  bool running = false;
+  bool finished = false;
+  bool deadline_passed = false;  ///< used when kill_at_deadline is off
+  std::uint64_t epoch = 0;  ///< incremented on abort to invalidate StageDone
+  std::vector<double> observed_confidence;
+};
+
+}  // namespace
+
+SimulationResult simulate(std::vector<TaskSpec> tasks, SchedulingPolicy& policy,
+                          const StageCostModel& costs, const SimulationConfig& config) {
+  EUGENE_REQUIRE(!tasks.empty(), "simulate: empty task set");
+  EUGENE_REQUIRE(config.num_workers >= 1, "simulate: need at least one worker");
+  policy.reset();
+  Rng rng(config.rng_seed);
+
+  std::vector<TaskRuntime> runtime(tasks.size());
+  std::size_t num_services = 0;
+  std::size_t max_stages = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EUGENE_REQUIRE(!tasks[i].stages.empty(), "simulate: task with no stages");
+    runtime[i].spec = &tasks[i];
+    num_services = std::max(num_services, tasks[i].service + 1);
+    max_stages = std::max(max_stages, tasks[i].stages.size());
+  }
+  EUGENE_REQUIRE(costs.num_stages() >= max_stages,
+                 "simulate: cost model covers fewer stages than tasks have");
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    events.push({tasks[i].arrival_ms, seq++, EventKind::Arrival, i, 0});
+    if (std::isfinite(tasks[i].deadline_ms))
+      events.push({tasks[i].deadline_ms, seq++, EventKind::Deadline, i, 0});
+  }
+
+  SimulationResult result;
+  result.services.resize(num_services);
+  result.exit_stage_histogram.assign(max_stages + 1, 0);
+  std::size_t free_workers = config.num_workers;
+  double now = 0.0;
+
+  auto finish_task = [&](std::size_t i) {
+    TaskRuntime& t = runtime[i];
+    EUGENE_CHECK(!t.finished, "finish_task: already finished");
+    t.finished = true;
+    ServiceMetrics& svc = result.services[t.spec->service];
+    ++svc.tasks;
+    if (t.stages_done == 0) {
+      ++svc.expired_without_result;
+      ++result.exit_stage_histogram[0];
+      return;
+    }
+    const StageOutcome& last = t.spec->stages[t.stages_done - 1];
+    if (last.correct) ++svc.correct;
+    ++result.exit_stage_histogram[t.stages_done];
+    if (t.stages_done == t.spec->stages.size())
+      ++svc.completed_all_stages;
+    else if (t.observed_confidence.back() >= config.early_exit_confidence)
+      ++svc.early_exits;
+    else
+      ++svc.expired_with_result;
+  };
+
+  auto dispatch = [&]() {
+    while (free_workers > 0) {
+      std::vector<TaskView> runnable;
+      for (std::size_t i = 0; i < runtime.size(); ++i) {
+        const TaskRuntime& t = runtime[i];
+        if (!t.arrived || t.finished || t.running) continue;
+        if (t.stages_done >= t.spec->stages.size()) continue;
+        TaskView v;
+        v.task_id = t.spec->id;
+        v.service = t.spec->service;
+        v.stages_done = t.stages_done;
+        v.total_stages = t.spec->stages.size();
+        v.arrival_ms = t.spec->arrival_ms;
+        v.deadline_ms = t.spec->deadline_ms;
+        v.observed_confidence = t.observed_confidence;
+        runnable.push_back(v);
+      }
+      if (runnable.empty()) return;
+      const std::optional<std::size_t> choice = policy.pick(runnable, now);
+      if (!choice.has_value()) return;
+      // Map task_id back to the runtime index.
+      std::size_t idx = runtime.size();
+      for (std::size_t i = 0; i < runtime.size(); ++i)
+        if (runtime[i].spec->id == *choice) {
+          idx = i;
+          break;
+        }
+      EUGENE_CHECK(idx < runtime.size(), "policy picked an unknown task id");
+      TaskRuntime& t = runtime[idx];
+      EUGENE_CHECK(t.arrived && !t.finished && !t.running &&
+                       t.stages_done < t.spec->stages.size(),
+                   "policy picked a non-runnable task");
+      t.running = true;
+      --free_workers;
+      const double dt = costs.duration_ms(t.stages_done, rng);
+      events.push({now + dt, seq++, EventKind::StageDone, idx, t.epoch});
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = std::max(now, ev.time_ms);
+    TaskRuntime& t = runtime[ev.task_index];
+
+    switch (ev.kind) {
+      case EventKind::Arrival:
+        t.arrived = true;
+        break;
+
+      case EventKind::StageDone: {
+        if (ev.epoch != t.epoch || !t.running) break;  // aborted stage
+        t.running = false;
+        ++free_workers;
+        const StageOutcome& outcome = t.spec->stages[t.stages_done];
+        ++t.stages_done;
+        t.observed_confidence.push_back(outcome.confidence);
+        result.services[t.spec->service].stages_executed += 1;
+        policy.on_stage_complete(t.spec->id, t.stages_done - 1, outcome.confidence);
+        result.makespan_ms = std::max(result.makespan_ms, now);
+        if (t.stages_done == t.spec->stages.size() ||
+            outcome.confidence >= config.early_exit_confidence ||
+            t.deadline_passed) {
+          finish_task(ev.task_index);
+        }
+        break;
+      }
+
+      case EventKind::Deadline: {
+        if (t.finished) break;
+        if (t.running && !config.kill_at_deadline) {
+          // Grace mode: the in-flight stage may finish and its result is
+          // accepted, but no further stages are scheduled.
+          t.deadline_passed = true;
+          break;
+        }
+        if (t.running) {
+          // The daemon "sends a signal to stop the current computation";
+          // the partially executed stage accrues no result.
+          ++t.epoch;
+          t.running = false;
+          ++free_workers;
+          ++result.aborted_stage_executions;
+        }
+        result.makespan_ms = std::max(result.makespan_ms, now);
+        finish_task(ev.task_index);
+        break;
+      }
+    }
+    dispatch();
+  }
+
+  // Tasks with no deadline that ran out of scheduling interest: if the event
+  // queue drained and they are unfinished, close them with their current
+  // result (the service answers with the best label it has).
+  for (std::size_t i = 0; i < runtime.size(); ++i)
+    if (!runtime[i].finished) finish_task(i);
+
+  return result;
+}
+
+}  // namespace eugene::sched

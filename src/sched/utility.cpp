@@ -1,0 +1,48 @@
+#include "sched/utility.hpp"
+
+#include "common/stats.hpp"
+
+namespace eugene::sched {
+
+GpUtilityEstimator::GpUtilityEstimator(const gp::ConfidenceCurveModel& curves)
+    : curves_(curves) {
+  EUGENE_REQUIRE(curves.fitted(), "GpUtilityEstimator: curve model not fitted");
+}
+
+double GpUtilityEstimator::predict_confidence_after(std::span<const double> conf_so_far,
+                                                    std::size_t next_stage) const {
+  EUGENE_REQUIRE(next_stage < curves_.num_stages(),
+                 "GpUtilityEstimator: stage out of range");
+  EUGENE_REQUIRE(conf_so_far.size() <= next_stage,
+                 "GpUtilityEstimator: history already covers the requested stage");
+  if (conf_so_far.empty()) return curves_.prior_confidence(next_stage);
+  // Multi-hop GP (e.g. GP1→3): project from the last executed stage.
+  return curves_.predict(conf_so_far.size() - 1, next_stage, conf_so_far.back());
+}
+
+ConstantSlopeEstimator::ConstantSlopeEstimator(std::vector<double> stage_priors,
+                                               double baseline_confidence)
+    : stage_priors_(std::move(stage_priors)), baseline_(baseline_confidence) {
+  EUGENE_REQUIRE(!stage_priors_.empty(), "ConstantSlopeEstimator: empty priors");
+  EUGENE_REQUIRE(baseline_ > 0.0 && baseline_ <= 1.0,
+                 "ConstantSlopeEstimator: baseline outside (0,1]");
+}
+
+double ConstantSlopeEstimator::predict_confidence_after(std::span<const double> conf_so_far,
+                                                        std::size_t next_stage) const {
+  EUGENE_REQUIRE(next_stage < stage_priors_.size(),
+                 "ConstantSlopeEstimator: stage out of range");
+  EUGENE_REQUIRE(conf_so_far.size() <= next_stage,
+                 "ConstantSlopeEstimator: history already covers the requested stage");
+  if (conf_so_far.empty()) return stage_priors_[next_stage];
+  // Slope of the most recent stage (before any second point, the rise from
+  // the random-guess baseline), extrapolated one step per remaining hop.
+  const double last = conf_so_far.back();
+  const double previous = conf_so_far.size() >= 2 ? conf_so_far[conf_so_far.size() - 2]
+                                                  : baseline_;
+  const double slope = last - previous;
+  const double hops = static_cast<double>(next_stage - (conf_so_far.size() - 1));
+  return clamp(last + slope * hops, 0.0, 1.0);
+}
+
+}  // namespace eugene::sched

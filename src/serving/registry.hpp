@@ -1,0 +1,44 @@
+// Model registry: named, versioned staged models together with the
+// artifacts the serving path needs (confidence-curve model, stage cost
+// model, chosen calibration α).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gp/confidence_curve.hpp"
+#include "nn/staged_model.hpp"
+#include "sched/task.hpp"
+
+namespace eugene::serving {
+
+/// Everything Eugene keeps per deployed model.
+struct ModelEntry {
+  std::string name;
+  nn::StagedModel model;
+  gp::ConfidenceCurveModel curves;          ///< fitted after calibration
+  sched::StageCostModel costs;              ///< per-stage execution time
+  std::vector<double> calibration_alpha;    ///< Eq. 4 α chosen per stage
+  bool calibrated = false;
+
+  ModelEntry(std::string n, nn::StagedModel m) : name(std::move(n)), model(std::move(m)) {}
+};
+
+/// Owning registry; handles are stable dense indices.
+class ModelRegistry {
+ public:
+  /// Registers a model under a unique name; returns its handle.
+  std::size_t add(std::string name, nn::StagedModel model);
+
+  std::size_t size() const { return entries_.size(); }
+  ModelEntry& entry(std::size_t handle);
+  const ModelEntry& entry(std::size_t handle) const;
+
+  /// Handle of the model with the given name, if any.
+  std::optional<std::size_t> find(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<ModelEntry>> entries_;
+};
+
+}  // namespace eugene::serving

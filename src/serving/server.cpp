@@ -1,0 +1,108 @@
+#include "serving/server.hpp"
+
+#include "common/clock.hpp"
+#include "sched/policy.hpp"
+
+namespace eugene::serving {
+
+using tensor::Tensor;
+
+InferenceServer::InferenceServer(ModelEntry& entry, ServerConfig config)
+    : entry_(entry), config_(std::move(config)) {
+  EUGENE_REQUIRE(entry_.curves.fitted(),
+                 "InferenceServer: model has no fitted confidence curves; "
+                 "calibrate and fit curves before serving");
+  EUGENE_REQUIRE(!config_.classes.empty(), "InferenceServer: no service classes");
+  EUGENE_REQUIRE(config_.lookahead >= 1, "InferenceServer: lookahead must be >= 1");
+}
+
+std::vector<InferenceResponse> InferenceServer::process_batch(
+    const std::vector<InferenceRequest>& requests) {
+  EUGENE_REQUIRE(!requests.empty(), "process_batch: empty batch");
+  for (const auto& r : requests)
+    EUGENE_REQUIRE(r.service_class < config_.classes.size(),
+                   "process_batch: unknown service class");
+
+  const std::size_t num_stages = entry_.model.num_stages();
+  sched::GpUtilityEstimator estimator(entry_.curves);
+  sched::GreedyUtilityPolicy policy(estimator, config_.lookahead);
+  std::vector<double> weights;
+  weights.reserve(config_.classes.size());
+  for (const auto& c : config_.classes) weights.push_back(c.utility_weight);
+  policy.set_service_weights(std::move(weights));
+
+  struct RequestState {
+    Tensor features;
+    std::vector<double> observed;
+    std::size_t stages_done = 0;
+    std::size_t label = 0;
+    bool done = false;
+    bool expired = false;
+    double finish_ms = 0.0;
+  };
+  std::vector<RequestState> state(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) state[i].features = requests[i].input;
+
+  WallClock clock;
+  std::size_t remaining = requests.size();
+  auto deadline_of = [&](std::size_t i) {
+    return config_.classes[requests[i].service_class].deadline_ms;
+  };
+
+  while (remaining > 0) {
+    const double now = clock.now_ms();
+    // Latency daemon sweep: expire overdue requests.
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (state[i].done) continue;
+      if (now >= deadline_of(i)) {
+        state[i].done = true;
+        state[i].expired = true;
+        state[i].finish_ms = now;
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+
+    std::vector<sched::TaskView> runnable;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (state[i].done || state[i].stages_done >= num_stages) continue;
+      sched::TaskView v;
+      v.task_id = i;
+      v.service = requests[i].service_class;
+      v.stages_done = state[i].stages_done;
+      v.total_stages = num_stages;
+      v.arrival_ms = 0.0;
+      v.deadline_ms = deadline_of(i);
+      v.observed_confidence = state[i].observed;
+      runnable.push_back(v);
+    }
+    EUGENE_CHECK(!runnable.empty(), "process_batch: live requests but none runnable");
+    const auto choice = policy.pick(runnable, now);
+    EUGENE_CHECK(choice.has_value(), "process_batch: policy returned no task");
+
+    RequestState& s = state[*choice];
+    const nn::StageOutput out = entry_.model.run_stage(s.stages_done, s.features);
+    ++s.stages_done;
+    s.observed.push_back(out.confidence);
+    s.label = out.predicted_label;
+    s.features = std::move(out.features);
+    policy.on_stage_complete(*choice, s.stages_done - 1, out.confidence);
+    if (s.stages_done == num_stages || out.confidence >= config_.early_exit_confidence) {
+      s.done = true;
+      s.finish_ms = clock.now_ms();
+      --remaining;
+    }
+  }
+
+  std::vector<InferenceResponse> responses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i].label = state[i].label;
+    responses[i].confidence = state[i].observed.empty() ? 0.0 : state[i].observed.back();
+    responses[i].stages_run = state[i].stages_done;
+    responses[i].expired = state[i].expired;
+    responses[i].latency_ms = state[i].finish_ms;
+  }
+  return responses;
+}
+
+}  // namespace eugene::serving

@@ -1,0 +1,63 @@
+// The run-time inference service (paper §II-E): accepts client data,
+// schedules stage executions across concurrent requests with the
+// utility-maximizing policy, enforces per-class latency constraints, and
+// returns (label, confidence) with early exit on high confidence.
+//
+// Includes the paper's §V extension: multiple *service classes* with
+// distinct deadlines and utility weights (an interactive chatbot vs a
+// tolerant surveillance camera).
+#pragma once
+
+#include "serving/registry.hpp"
+
+namespace eugene::serving {
+
+/// A client-facing QoS class.
+struct ServiceClassConfig {
+  std::string name = "default";
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  double utility_weight = 1.0;  ///< scales the scheduler's utility for this class
+};
+
+/// One inference request.
+struct InferenceRequest {
+  tensor::Tensor input;
+  std::size_t service_class = 0;
+};
+
+/// One inference response.
+struct InferenceResponse {
+  std::size_t label = 0;
+  double confidence = 0.0;
+  std::size_t stages_run = 0;
+  bool expired = false;    ///< deadline hit before full/confident completion
+  double latency_ms = 0.0;
+};
+
+/// Server knobs.
+struct ServerConfig {
+  std::vector<ServiceClassConfig> classes = {{}};
+  double early_exit_confidence = 0.92;  ///< skip remaining stages above this
+  std::size_t lookahead = 1;            ///< RTDeepIoT k
+};
+
+/// Schedules a batch of concurrent requests over one model instance,
+/// interleaving real stage executions by greedy weighted utility. Wall-clock
+/// deadlines are enforced at stage granularity (a request past its class
+/// deadline stops accruing stages and answers with its best result so far).
+class InferenceServer {
+ public:
+  /// `entry` must be calibrated (curves fitted) and must outlive the server.
+  InferenceServer(ModelEntry& entry, ServerConfig config);
+
+  /// Processes all requests as one concurrent batch.
+  std::vector<InferenceResponse> process_batch(const std::vector<InferenceRequest>& requests);
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ModelEntry& entry_;
+  ServerConfig config_;
+};
+
+}  // namespace eugene::serving

@@ -1,0 +1,48 @@
+#include "serving/usage.hpp"
+
+namespace eugene::serving {
+
+UsageMeter::UsageMeter(sched::StageCostModel costs, std::vector<std::string> class_names)
+    : costs_(std::move(costs)) {
+  EUGENE_REQUIRE(!class_names.empty(), "UsageMeter: no service classes");
+  EUGENE_REQUIRE(costs_.num_stages() > 0, "UsageMeter: empty cost model");
+  usage_.resize(class_names.size());
+  for (std::size_t i = 0; i < class_names.size(); ++i)
+    usage_[i].class_name = std::move(class_names[i]);
+}
+
+void UsageMeter::record(const std::vector<InferenceRequest>& requests,
+                        const std::vector<InferenceResponse>& responses,
+                        std::size_t model_num_stages) {
+  EUGENE_REQUIRE(requests.size() == responses.size(),
+                 "UsageMeter::record: request/response size mismatch");
+  EUGENE_REQUIRE(model_num_stages <= costs_.num_stages(),
+                 "UsageMeter::record: cost model covers fewer stages than the model");
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EUGENE_REQUIRE(requests[i].service_class < usage_.size(),
+                   "UsageMeter::record: unknown service class");
+    ClassUsage& u = usage_[requests[i].service_class];
+    ++u.requests;
+    u.stages_executed += responses[i].stages_run;
+    for (std::size_t s = 0; s < responses[i].stages_run; ++s)
+      u.compute_ms += costs_.stage_ms[s];
+    u.expired += responses[i].expired ? 1 : 0;
+    u.early_exits +=
+        (!responses[i].expired && responses[i].stages_run < model_num_stages) ? 1 : 0;
+  }
+}
+
+double UsageMeter::charge(std::size_t service_class, const PricingPolicy& pricing) const {
+  EUGENE_REQUIRE(service_class < usage_.size(), "UsageMeter::charge: unknown class");
+  const ClassUsage& u = usage_[service_class];
+  return pricing.per_request * static_cast<double>(u.requests) +
+         pricing.per_compute_ms * u.compute_ms;
+}
+
+double UsageMeter::total_charge(const PricingPolicy& pricing) const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < usage_.size(); ++c) total += charge(c, pricing);
+  return total;
+}
+
+}  // namespace eugene::serving

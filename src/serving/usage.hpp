@@ -1,0 +1,67 @@
+// Usage metering for service pricing (paper §V future work):
+//
+//   "An appropriate pricing structure may be needed that is informed of the
+//    true resource cost imposed by clients of each class on the service."
+//
+// UsageMeter accumulates, per service class, the true resource consumption
+// of a batch: stage executions, compute milliseconds (from the model's
+// profiled stage costs), expirations, and early exits — and turns them into
+// an itemized cost report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "serving/server.hpp"
+
+namespace eugene::serving {
+
+/// Accumulated per-class resource usage.
+struct ClassUsage {
+  std::string class_name;
+  std::size_t requests = 0;
+  std::size_t stages_executed = 0;
+  double compute_ms = 0.0;   ///< Σ profiled stage costs actually spent
+  std::size_t expired = 0;
+  std::size_t early_exits = 0;
+
+  double mean_stages() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stages_executed) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Pricing knobs: cost per compute millisecond and per request admitted.
+struct PricingPolicy {
+  double per_compute_ms = 0.01;
+  double per_request = 0.05;
+};
+
+/// Meters batches against a model's profiled stage costs.
+class UsageMeter {
+ public:
+  /// `costs` is the model's profiled per-stage execution time; `classes`
+  /// names the service classes (parallel to ServerConfig::classes).
+  UsageMeter(sched::StageCostModel costs, std::vector<std::string> class_names);
+
+  /// Records one processed batch.
+  void record(const std::vector<InferenceRequest>& requests,
+              const std::vector<InferenceResponse>& responses,
+              std::size_t model_num_stages);
+
+  const std::vector<ClassUsage>& usage() const { return usage_; }
+
+  /// Itemized charge for one class under a pricing policy.
+  double charge(std::size_t service_class, const PricingPolicy& pricing) const;
+
+  /// Total charge across classes.
+  double total_charge(const PricingPolicy& pricing) const;
+
+ private:
+  sched::StageCostModel costs_;
+  std::vector<ClassUsage> usage_;
+};
+
+}  // namespace eugene::serving

@@ -1,0 +1,82 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+
+namespace eugene::tensor {
+
+Tensor cholesky(const Tensor& a) {
+  EUGENE_REQUIRE(a.rank() == 2 && a.dim(0) == a.dim(1),
+                 "cholesky: expected a square matrix");
+  const std::size_t n = a.dim(0);
+  Tensor l({n, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k)
+        sum -= static_cast<double>(l.at(i, k)) * static_cast<double>(l.at(j, k));
+      if (i == j) {
+        EUGENE_REQUIRE(sum > 0.0, "cholesky: matrix is not positive definite");
+        l.at(i, j) = static_cast<float>(std::sqrt(sum));
+      } else {
+        l.at(i, j) = static_cast<float>(sum / l.at(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const Tensor& l, const std::vector<double>& b) {
+  const std::size_t n = l.dim(0);
+  EUGENE_REQUIRE(b.size() == n, "solve_lower: rhs size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= static_cast<double>(l.at(i, k)) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_lower_transpose(const Tensor& l, const std::vector<double>& b) {
+  const std::size_t n = l.dim(0);
+  EUGENE_REQUIRE(b.size() == n, "solve_lower_transpose: rhs size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k)
+      sum -= static_cast<double>(l.at(k, ii)) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Tensor& a, const std::vector<double>& b) {
+  const Tensor l = cholesky(a);
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+std::vector<double> least_squares(const Tensor& x, const std::vector<double>& y,
+                                  double ridge) {
+  EUGENE_REQUIRE(x.rank() == 2, "least_squares: X must be a matrix");
+  const std::size_t n = x.dim(0), p = x.dim(1);
+  EUGENE_REQUIRE(y.size() == n, "least_squares: y size mismatch");
+  EUGENE_REQUIRE(n >= p, "least_squares: underdetermined system");
+  // Form XᵀX (+ ridge·I) and Xᵀy in double precision.
+  Tensor xtx({p, p});
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const double xa = x.at(i, a);
+      xty[a] += xa * y[i];
+      for (std::size_t b = 0; b <= a; ++b)
+        xtx.at(a, b) += static_cast<float>(xa * static_cast<double>(x.at(i, b)));
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    xtx.at(a, a) += static_cast<float>(ridge);
+    for (std::size_t b = a + 1; b < p; ++b) xtx.at(a, b) = xtx.at(b, a);
+  }
+  return solve_spd(xtx, xty);
+}
+
+}  // namespace eugene::tensor

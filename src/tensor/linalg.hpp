@@ -1,0 +1,31 @@
+// Dense linear algebra needed by Gaussian-process regression and the
+// profiler's least-squares fits: Cholesky factorization, triangular solves,
+// and ordinary least squares via normal equations.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace eugene::tensor {
+
+/// Cholesky factor L (lower triangular) of a symmetric positive-definite A,
+/// so that A = L·Lᵀ. Throws eugene::InvalidArgument if A is not SPD.
+Tensor cholesky(const Tensor& a);
+
+/// Solves L·x = b for lower-triangular L (forward substitution).
+std::vector<double> solve_lower(const Tensor& l, const std::vector<double>& b);
+
+/// Solves Lᵀ·x = b for lower-triangular L (back substitution on the transpose).
+std::vector<double> solve_lower_transpose(const Tensor& l, const std::vector<double>& b);
+
+/// Solves A·x = b for SPD A via Cholesky.
+std::vector<double> solve_spd(const Tensor& a, const std::vector<double>& b);
+
+/// Ordinary least squares: finds beta minimizing ‖X·beta − y‖² using the
+/// normal equations with a small ridge term for numerical safety.
+/// X is [n, p]; returns beta of length p.
+std::vector<double> least_squares(const Tensor& x, const std::vector<double>& y,
+                                  double ridge = 1e-9);
+
+}  // namespace eugene::tensor

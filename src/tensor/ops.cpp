@@ -1,0 +1,238 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+
+namespace eugene::tensor {
+namespace {
+
+void require_matrix(const Tensor& t, const char* name) {
+  EUGENE_REQUIRE(t.rank() == 2, std::string(name) + ": expected rank-2 tensor, got " +
+                                    shape_to_string(t.shape()));
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul a");
+  require_matrix(b, "matmul b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  EUGENE_REQUIRE(b.dim(0) == k, "matmul: inner dimensions disagree");
+  Tensor c({m, n});
+  const float* ap = a.raw();
+  const float* bp = b.raw();
+  float* cp = c.raw();
+  // ikj loop order: streams through B and C rows, cache friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = ap[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bp + kk * n;
+      float* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_a a");
+  require_matrix(b, "matmul_transpose_a b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  EUGENE_REQUIRE(b.dim(0) == k, "matmul_transpose_a: inner dimensions disagree");
+  Tensor c({m, n});
+  const float* ap = a.raw();
+  const float* bp = b.raw();
+  float* cp = c.raw();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul_transpose_b a");
+  require_matrix(b, "matmul_transpose_b b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  EUGENE_REQUIRE(b.dim(1) == k, "matmul_transpose_b: inner dimensions disagree");
+  Tensor c({m, n});
+  const float* ap = a.raw();
+  const float* bp = b.raw();
+  float* cp = c.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      cp[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor im2col(const Tensor& image_chw, const Conv2dGeometry& g) {
+  EUGENE_REQUIRE(image_chw.rank() == 3, "im2col: expected CHW image");
+  EUGENE_REQUIRE(image_chw.dim(0) == g.in_channels && image_chw.dim(1) == g.in_height &&
+                     image_chw.dim(2) == g.in_width,
+                 "im2col: image does not match geometry");
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
+  Tensor cols({patch, oh * ow});
+  const float* img = image_chw.raw();
+  float* out = cols.raw();
+  const std::size_t hw = g.in_height * g.in_width;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+        const std::size_t row = (c * g.kernel + ky) * g.kernel + kx;
+        float* dst = out + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // Signed arithmetic: padded coordinates can be negative.
+          const long long iy = static_cast<long long>(oy * g.stride + ky) -
+                               static_cast<long long>(g.padding);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.padding);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<long long>(g.in_height) && ix >= 0 &&
+                ix < static_cast<long long>(g.in_width)) {
+              v = img[c * hw + static_cast<std::size_t>(iy) * g.in_width +
+                      static_cast<std::size_t>(ix)];
+            }
+            dst[oy * ow + ox] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dGeometry& g) {
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
+  EUGENE_REQUIRE(cols.rank() == 2 && cols.dim(0) == patch && cols.dim(1) == oh * ow,
+                 "col2im: cols shape does not match geometry");
+  Tensor image({g.in_channels, g.in_height, g.in_width});
+  const float* src = cols.raw();
+  float* img = image.raw();
+  const std::size_t hw = g.in_height * g.in_width;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+        const std::size_t row = (c * g.kernel + ky) * g.kernel + kx;
+        const float* srow = src + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long long iy = static_cast<long long>(oy * g.stride + ky) -
+                               static_cast<long long>(g.padding);
+          if (iy < 0 || iy >= static_cast<long long>(g.in_height)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.padding);
+            if (ix < 0 || ix >= static_cast<long long>(g.in_width)) continue;
+            img[c * hw + static_cast<std::size_t>(iy) * g.in_width +
+                static_cast<std::size_t>(ix)] += srow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Tensor conv2d(const Tensor& image_chw, const Tensor& weights, const Tensor& bias,
+              const Conv2dGeometry& g) {
+  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
+  EUGENE_REQUIRE(weights.rank() == 2 && weights.dim(0) == g.out_channels &&
+                     weights.dim(1) == patch,
+                 "conv2d: weights shape mismatch");
+  EUGENE_REQUIRE(bias.rank() == 1 && bias.dim(0) == g.out_channels,
+                 "conv2d: bias shape mismatch");
+  const Tensor cols = im2col(image_chw, g);
+  Tensor out = matmul(weights, cols);
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  float* op = out.raw();
+  for (std::size_t oc = 0; oc < g.out_channels; ++oc) {
+    const float b = bias.at(oc);
+    for (std::size_t i = 0; i < oh * ow; ++i) op[oc * oh * ow + i] += b;
+  }
+  return out.reshaped({g.out_channels, oh, ow});
+}
+
+Tensor conv2d_direct(const Tensor& image_chw, const Tensor& weights, const Tensor& bias,
+                     const Conv2dGeometry& g) {
+  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
+  EUGENE_REQUIRE(weights.rank() == 2 && weights.dim(0) == g.out_channels &&
+                     weights.dim(1) == patch,
+                 "conv2d_direct: weights shape mismatch");
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  Tensor out({g.out_channels, oh, ow});
+  const float* img = image_chw.raw();
+  const std::size_t hw = g.in_height * g.in_width;
+  for (std::size_t oc = 0; oc < g.out_channels; ++oc) {
+    const float* wrow = weights.raw() + oc * patch;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = bias.at(oc);
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const long long iy = static_cast<long long>(oy * g.stride + ky) -
+                                 static_cast<long long>(g.padding);
+            if (iy < 0 || iy >= static_cast<long long>(g.in_height)) continue;
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                   static_cast<long long>(g.padding);
+              if (ix < 0 || ix >= static_cast<long long>(g.in_width)) continue;
+              acc += wrow[(c * g.kernel + ky) * g.kernel + kx] *
+                     img[c * hw + static_cast<std::size_t>(iy) * g.in_width +
+                         static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor max_pool2(const Tensor& image_chw) {
+  EUGENE_REQUIRE(image_chw.rank() == 3, "max_pool2: expected CHW image");
+  const std::size_t c = image_chw.dim(0);
+  const std::size_t oh = image_chw.dim(1) / 2;
+  const std::size_t ow = image_chw.dim(2) / 2;
+  EUGENE_REQUIRE(oh > 0 && ow > 0, "max_pool2: image too small");
+  Tensor out({c, oh, ow});
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x)
+        out.at(ch, y, x) = std::max(
+            std::max(image_chw.at(ch, 2 * y, 2 * x), image_chw.at(ch, 2 * y, 2 * x + 1)),
+            std::max(image_chw.at(ch, 2 * y + 1, 2 * x),
+                     image_chw.at(ch, 2 * y + 1, 2 * x + 1)));
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& image_chw) {
+  EUGENE_REQUIRE(image_chw.rank() == 3, "global_avg_pool: expected CHW image");
+  const std::size_t c = image_chw.dim(0);
+  const std::size_t hw = image_chw.dim(1) * image_chw.dim(2);
+  EUGENE_REQUIRE(hw > 0, "global_avg_pool: empty image plane");
+  Tensor out({c});
+  const float* img = image_chw.raw();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < hw; ++i) acc += img[ch * hw + i];
+    out.at(ch) = acc / static_cast<float>(hw);
+  }
+  return out;
+}
+
+}  // namespace eugene::tensor

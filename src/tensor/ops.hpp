@@ -1,0 +1,72 @@
+// Tensor kernels: matmul family, im2col convolution, pooling.
+//
+// These are the compute primitives under eugene::nn. Shapes follow CHW for
+// single images and [rows, cols] for matrices. All kernels are plain loops
+// over contiguous memory — good enough for the paper-scale models and easy
+// to profile (src/profile measures exactly these).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace eugene::tensor {
+
+/// C = A(m×k) * B(k×n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ(k×m becomes m×k) * B(k×n): matmul with A transposed, no copy.
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+
+/// C = A(m×k) * Bᵀ(n×k becomes k×n): matmul with B transposed, no copy.
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+
+/// Geometry of a 2-D convolution over a CHW image.
+struct Conv2dGeometry {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;  ///< "same" padding for kernel 3, stride 1
+
+  std::size_t out_height() const {
+    EUGENE_REQUIRE(in_height + 2 * padding >= kernel, "conv: kernel exceeds padded input");
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  }
+  std::size_t out_width() const {
+    EUGENE_REQUIRE(in_width + 2 * padding >= kernel, "conv: kernel exceeds padded input");
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  }
+
+  /// Multiply-accumulate count ×2 (the FLOPs convention used by Table I).
+  double flops() const {
+    return 2.0 * static_cast<double>(out_channels) * static_cast<double>(out_height()) *
+           static_cast<double>(out_width()) * static_cast<double>(in_channels) *
+           static_cast<double>(kernel) * static_cast<double>(kernel);
+  }
+};
+
+/// Unrolls image patches into a [C·k·k, H_out·W_out] matrix.
+Tensor im2col(const Tensor& image_chw, const Conv2dGeometry& g);
+
+/// Inverse of im2col: scatters column gradients back into CHW, accumulating
+/// overlapping patches.
+Tensor col2im(const Tensor& cols, const Conv2dGeometry& g);
+
+/// conv2d forward for one CHW image using im2col + matmul.
+/// `weights` is [C_out, C_in·k·k], `bias` is [C_out].
+Tensor conv2d(const Tensor& image_chw, const Tensor& weights, const Tensor& bias,
+              const Conv2dGeometry& g);
+
+/// Direct (no-im2col) conv2d used as a correctness oracle and as the second
+/// execution regime in the profiler's cost model.
+Tensor conv2d_direct(const Tensor& image_chw, const Tensor& weights, const Tensor& bias,
+                     const Conv2dGeometry& g);
+
+/// 2×2 max pooling with stride 2 over CHW; odd trailing rows/cols dropped.
+Tensor max_pool2(const Tensor& image_chw);
+
+/// Global average pool: CHW → [C].
+Tensor global_avg_pool(const Tensor& image_chw);
+
+}  // namespace eugene::tensor

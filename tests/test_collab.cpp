@@ -1,0 +1,268 @@
+// Collaborative-inference tests: world dynamics, camera geometry and
+// detector behaviour, fusion, trust, brokering, and the Table IV property
+// (collaboration raises counting accuracy and slashes latency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collab/experiment.hpp"
+
+namespace eugene::collab {
+namespace {
+
+TEST(World, PeopleStayInBounds) {
+  WorldConfig cfg;
+  cfg.width = 50;
+  cfg.height = 40;
+  cfg.num_people = 6;
+  Rng rng(1);
+  World world(cfg, rng);
+  for (int f = 0; f < 300; ++f) {
+    world.step(rng);
+    for (const Person& p : world.people()) {
+      EXPECT_GE(p.position.x, 0.0);
+      EXPECT_LE(p.position.x, 50.0);
+      EXPECT_GE(p.position.y, 0.0);
+      EXPECT_LE(p.position.y, 40.0);
+    }
+  }
+}
+
+TEST(World, PeopleActuallyMove) {
+  WorldConfig cfg;
+  Rng rng(2);
+  World world(cfg, rng);
+  const Vec2 start = world.people()[0].position;
+  for (int f = 0; f < 20; ++f) world.step(rng);
+  EXPECT_GT(distance(start, world.people()[0].position), 1.0);
+}
+
+TEST(Camera, SeesRespectsWedgeAndRange) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;  // looking along +x
+  cfg.fov_rad = 1.0;          // ±0.5 rad
+  cfg.range_m = 10.0;
+  Camera cam(cfg, 0);
+  EXPECT_TRUE(cam.sees({5.0, 0.0}));
+  EXPECT_TRUE(cam.sees({5.0, 2.0}));    // atan2(2,5) ≈ 0.38 < 0.5
+  EXPECT_FALSE(cam.sees({5.0, 4.0}));   // ≈ 0.67 > 0.5
+  EXPECT_FALSE(cam.sees({-5.0, 0.0}));  // behind
+  EXPECT_FALSE(cam.sees({11.0, 0.0}));  // out of range
+}
+
+TEST(Camera, DetectionRateDecaysWithDistance) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.range_m = 40.0;
+  cfg.false_positives_per_frame = 0.0;
+  Camera cam(cfg, 0);
+  Rng rng(3);
+  auto detect_rate = [&](double dist) {
+    std::vector<Person> people = {{0, {dist, 0.0}, {0, 0}}};
+    int hits = 0;
+    for (int i = 0; i < 600; ++i) hits += cam.detect(people, rng).empty() ? 0 : 1;
+    return static_cast<double>(hits) / 600.0;
+  };
+  EXPECT_GT(detect_rate(3.0), detect_rate(35.0) + 0.15);
+}
+
+TEST(Camera, OcclusionSuppressesDetections) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.range_m = 40.0;
+  cfg.false_positives_per_frame = 0.0;
+  cfg.occlusion_miss = 0.9;
+  Camera cam(cfg, 0);
+  Rng rng(4);
+  // Person 1 is directly behind person 0.
+  std::vector<Person> people = {{0, {10.0, 0.0}, {0, 0}}, {1, {20.0, 0.0}, {0, 0}}};
+  int far_detected = 0;
+  for (int i = 0; i < 600; ++i) {
+    for (const Detection& d : cam.detect(people, rng))
+      if (!d.is_false_positive && d.truth_id == 1) ++far_detected;
+  }
+  // Now remove the occluder.
+  std::vector<Person> alone = {{1, {20.0, 0.0}, {0, 0}}};
+  int alone_detected = 0;
+  for (int i = 0; i < 600; ++i) {
+    for (const Detection& d : cam.detect(alone, rng))
+      if (!d.is_false_positive) ++alone_detected;
+  }
+  EXPECT_LT(far_detected, alone_detected / 2);
+}
+
+TEST(Camera, FalsePositivesAppearAtConfiguredRate) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.false_positives_per_frame = 0.5;
+  Camera cam(cfg, 0);
+  Rng rng(5);
+  const std::vector<Person> nobody;
+  std::size_t fp = 0;
+  for (int i = 0; i < 1000; ++i) fp += cam.detect(nobody, rng).size();
+  EXPECT_NEAR(static_cast<double>(fp) / 1000.0, 0.5, 0.08);
+}
+
+TEST(Fusion, CountingAccuracyMetric) {
+  EXPECT_DOUBLE_EQ(counting_accuracy(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(counting_accuracy(4, 5), 0.8);
+  EXPECT_DOUBLE_EQ(counting_accuracy(7, 5), 0.6);
+  EXPECT_DOUBLE_EQ(counting_accuracy(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(counting_accuracy(3, 0), 0.0);  // clamped
+}
+
+TEST(Fusion, DeduplicatesOverlappingBoxes) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.range_m = 50.0;
+  Camera cam(cfg, 0);
+  Rng rng(6);
+  FusionConfig fusion;
+  // Own box and a peer box for the same person (1 m apart) → one cluster.
+  Detection own{{10.0, 0.0}, 0, 1.0, false, 42};
+  Detection peer{{10.5, 0.5}, 1, 1.0, false, 42};
+  const auto fused = fuse_detections(cam, {own}, {peer}, fusion, nullptr, rng);
+  EXPECT_EQ(fused.size(), 1u);
+}
+
+TEST(Fusion, PeerBoxFillsLocalMiss) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.range_m = 50.0;
+  Camera cam(cfg, 0);
+  Rng rng(7);
+  FusionConfig fusion;
+  Detection peer{{20.0, 1.0}, 1, 1.0, false, 7};
+  const auto fused = fuse_detections(cam, {}, {peer}, fusion, nullptr, rng);
+  EXPECT_EQ(fused.size(), 1u) << "trusted peer boxes count even without local support";
+}
+
+TEST(Fusion, PeerBoxOutsideFovIsIgnored) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.fov_rad = 1.0;
+  cfg.range_m = 50.0;
+  Camera cam(cfg, 0);
+  Rng rng(8);
+  FusionConfig fusion;
+  Detection behind{{-20.0, 0.0}, 1, 1.0, false, 7};
+  const auto fused = fuse_detections(cam, {}, {behind}, fusion, nullptr, rng);
+  EXPECT_TRUE(fused.empty());
+}
+
+TEST(Trust, ErodesForUnverifiedProducers) {
+  TrustManager trust(3);
+  for (int i = 0; i < 40; ++i) {
+    trust.observe(0, true);   // honest camera, always corroborated
+    trust.observe(2, false);  // rogue camera, never corroborated
+  }
+  EXPECT_GT(trust.trust(0), 0.9);
+  EXPECT_LT(trust.trust(2), 0.1);
+  EXPECT_THROW(trust.trust(5), InvalidArgument);
+}
+
+TEST(Trust, LowTrustPeerOnlyClustersAreDropped) {
+  CameraConfig cfg;
+  cfg.position = {0.0, 0.0};
+  cfg.orientation_rad = 0.0;
+  cfg.range_m = 50.0;
+  Camera cam(cfg, 0);
+  Rng rng(9);
+  FusionConfig fusion;
+  TrustManager trust(2);
+  for (int i = 0; i < 60; ++i) trust.observe(1, false);  // camera 1 discredited
+  Detection fake{{20.0, 0.0}, 1, 1.0, true, 0};
+  const auto fused = fuse_detections(cam, {}, {fake}, fusion, &trust, rng);
+  EXPECT_TRUE(fused.empty());
+}
+
+// --------------------------------------------- end-to-end experiments ----
+
+CollabExperimentConfig pets_like_config() {
+  CollabExperimentConfig cfg;
+  cfg.world.num_people = 10;
+  cfg.cameras = ring_of_cameras(cfg.world, 8);
+  cfg.num_frames = 120;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Experiment, CollaborationImprovesAccuracyAndLatency) {
+  const CollabExperimentConfig cfg = pets_like_config();
+  const CollabMetrics individual = run_individual(cfg);
+  const CollabMetrics collaborative = run_collaborative(cfg);
+
+  // The Table IV shape: higher counting accuracy, much lower latency.
+  EXPECT_GT(collaborative.detection_accuracy, individual.detection_accuracy + 0.02);
+  EXPECT_LT(collaborative.mean_latency_ms, individual.mean_latency_ms / 5.0);
+  EXPECT_GT(collaborative.recall, individual.recall);
+}
+
+TEST(Experiment, ResultsAreDeterministicPerSeed) {
+  const CollabExperimentConfig cfg = pets_like_config();
+  const CollabMetrics a = run_collaborative(cfg);
+  const CollabMetrics b = run_collaborative(cfg);
+  EXPECT_DOUBLE_EQ(a.detection_accuracy, b.detection_accuracy);
+}
+
+TEST(Experiment, RogueCameraHurtsAndTrustRecovers) {
+  CollabExperimentConfig cfg = pets_like_config();
+  const double clean = run_collaborative(cfg).detection_accuracy;
+
+  cfg.rogue = RogueConfig{0, 4.0};
+  cfg.trust_enabled = false;
+  const double attacked = run_collaborative(cfg).detection_accuracy;
+  EXPECT_LT(attacked, clean - 0.03) << "injected boxes must hurt counting accuracy";
+
+  cfg.trust_enabled = true;
+  const double defended = run_collaborative(cfg).detection_accuracy;
+  EXPECT_GT(defended, attacked + 0.02) << "trust filtering must recover accuracy";
+}
+
+TEST(Experiment, BrokeringDiscoversOverlappingPairs) {
+  CollabExperimentConfig cfg = pets_like_config();
+  cfg.num_frames = 200;
+  const auto corr = count_correlation_matrix(cfg);
+  ASSERT_EQ(corr.size(), 8u);
+
+  // Ground truth from FoV geometry.
+  Rng rng(10);
+  std::vector<Camera> cameras;
+  for (std::size_t i = 0; i < cfg.cameras.size(); ++i)
+    cameras.emplace_back(cfg.cameras[i], i);
+  // In the ring rig every camera faces the center, so opposite cameras
+  // share most of their FoV; adjacent ones share less. Correlation of
+  // detection counts must be clearly positive for high-overlap pairs.
+  double high_overlap_corr = 0.0;
+  std::size_t high_pairs = 0;
+  double low_overlap_corr = 0.0;
+  std::size_t low_pairs = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const double overlap = fov_overlap(cameras[i], cameras[j], rng, 1000);
+      if (overlap > 0.5) {
+        high_overlap_corr += corr[i][j];
+        ++high_pairs;
+      } else if (overlap < 0.2) {
+        low_overlap_corr += corr[i][j];
+        ++low_pairs;
+      }
+    }
+  }
+  ASSERT_GT(high_pairs, 0u);
+  if (low_pairs > 0) {
+    EXPECT_GT(high_overlap_corr / static_cast<double>(high_pairs),
+              low_overlap_corr / static_cast<double>(low_pairs));
+  }
+  const auto pairs = discover_collaborators(corr, 0.3);
+  EXPECT_FALSE(pairs.empty());
+}
+
+}  // namespace
+}  // namespace eugene::collab

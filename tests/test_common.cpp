@@ -1,0 +1,276 @@
+// Tests for the common substrate: errors, rng, stats, clocks, thread pool,
+// channels (in-memory and POSIX FIFO), and the stage-report wire format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/channel.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/fifo_channel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace eugene {
+namespace {
+
+TEST(Error, CheckMacrosThrowTypedExceptions) {
+  EXPECT_THROW(EUGENE_REQUIRE(false, "client bug"), InvalidArgument);
+  EXPECT_THROW(EUGENE_CHECK(false, "internal bug"), InternalError);
+  EXPECT_NO_THROW(EUGENE_REQUIRE(true, ""));
+}
+
+TEST(Error, MessageCarriesLocationAndExpression) {
+  try {
+    EUGENE_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(4);
+  std::vector<double> weights = {1.0, 3.0};
+  std::size_t ones = 0;
+  for (int i = 0; i < 4000; ++i) ones += rng.categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / 4000.0, 0.75, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(9);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Different children must not mirror each other.
+  int same = 0;
+  for (int i = 0; i < 20; ++i)
+    same += child1.uniform_int(0, 1000) == child2.uniform_int(0, 1000) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, SoftmaxIsStableAndNormalized) {
+  const std::vector<float> logits = {1000.0f, 1000.0f, 999.0f};
+  const auto p = softmax(logits);
+  double sum = 0.0;
+  for (float v : p) {
+    EXPECT_TRUE(std::isfinite(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Stats, EntropyBounds) {
+  const std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> point = {1.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_NEAR(entropy(uniform), std::log(4.0), 1e-6);
+  EXPECT_NEAR(entropy(point), 0.0, 1e-9);
+}
+
+TEST(Stats, RSquaredPerfectAndMeanPredictor) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(r_squared(truth, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Stats, OnlineMatchesBatch) {
+  Rng rng(6);
+  std::vector<double> xs;
+  OnlineStats online;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(1.0, 3.0);
+    xs.push_back(v);
+    online.add(v);
+  }
+  EXPECT_NEAR(online.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(online.variance(), variance(xs), 1e-6);
+}
+
+TEST(Clock, VirtualClockAdvances) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0);
+  clock.advance_by(5.5);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 5.5);
+  clock.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 10.0);
+  EXPECT_THROW(clock.advance_to(9.0), InternalError);
+  EXPECT_THROW(clock.advance_by(-1.0), InvalidArgument);
+}
+
+TEST(Clock, StopwatchMeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.elapsed_ms(), 8.0);
+}
+
+TEST(ThreadPool, ExecutesAllSubmittedWork) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i)
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(Channel, FifoOrderSingleThread) {
+  Channel<int> ch;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.send(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ch.receive().value(), i);
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, CloseWakesReceiversAndRejectsSends) {
+  Channel<int> ch;
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.close();
+  });
+  EXPECT_FALSE(ch.receive().has_value());
+  closer.join();
+  EXPECT_FALSE(ch.send(1));
+}
+
+TEST(Channel, DrainsRemainingItemsAfterClose) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_EQ(ch.receive().value(), 7);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel<int> ch;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < 100; ++i) ch.send(p * 100 + i);
+    });
+  std::size_t received = 0;
+  while (received < 400) {
+    if (ch.receive().has_value()) ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received, 400u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(StageReport, EncodeDecodeRoundTrip) {
+  StageReport report;
+  report.task_id = 12345;
+  report.stage = 2;
+  report.predicted_label = 7;
+  report.confidence = 0.8125f;
+  const auto bytes = report.encode();
+  EXPECT_EQ(bytes.size(), 16u);
+  const auto decoded = StageReport::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, report);
+}
+
+TEST(StageReport, DecodeRejectsWrongSize) {
+  EXPECT_FALSE(StageReport::decode(std::vector<std::uint8_t>(15)).has_value());
+  EXPECT_FALSE(StageReport::decode({}).has_value());
+}
+
+TEST(FifoChannel, FramesCrossARealNamedPipe) {
+  // Mirrors the paper's worker→scheduler named-pipe hop with real mkfifo.
+  const std::string path = "/tmp/eugene_test_fifo_" + std::to_string(::getpid());
+  std::thread writer([&path] {
+    FifoWriter w(path);  // blocks until the reader opens
+    StageReport r1{1, 0, 3, 0.5f};
+    StageReport r2{1, 1, 4, 0.75f};
+    EXPECT_TRUE(w.write_frame(r1.encode()));
+    EXPECT_TRUE(w.write_frame(r2.encode()));
+  });
+  FifoReader reader(path);
+  const auto f1 = reader.read_frame();
+  const auto f2 = reader.read_frame();
+  writer.join();
+  const auto f3 = reader.read_frame();  // EOF after writer closed
+
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_FALSE(f3.has_value());
+  EXPECT_EQ(StageReport::decode(*f1)->predicted_label, 3u);
+  EXPECT_NEAR(StageReport::decode(*f2)->confidence, 0.75f, 1e-6);
+}
+
+}  // namespace
+}  // namespace eugene

@@ -1,0 +1,176 @@
+// Tests for the synthetic data generators: determinism, label balance, and
+// the central property that *difficulty* controls separability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_images.hpp"
+#include "data/timeseries.hpp"
+
+namespace eugene::data {
+namespace {
+
+using tensor::Tensor;
+
+double l2_distance(const Tensor& a, const Tensor& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+TEST(Dataset, PushAndSplit) {
+  Dataset d;
+  for (std::size_t i = 0; i < 10; ++i)
+    d.push(Tensor({2}, static_cast<float>(i)), i % 3, 0.1 * static_cast<double>(i));
+  auto [a, b] = split(d, 6);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.labels[0], 6u % 3);
+  EXPECT_THROW(split(d, 11), InvalidArgument);
+}
+
+TEST(Dataset, FilterLabelsKeepsOnlyRequested) {
+  Dataset d;
+  for (std::size_t i = 0; i < 12; ++i) d.push(Tensor({1}), i % 4, 0.0);
+  const Dataset f = filter_labels(d, {1, 3});
+  EXPECT_EQ(f.size(), 6u);
+  for (std::size_t label : f.labels) EXPECT_TRUE(label == 1 || label == 3);
+}
+
+TEST(SyntheticImages, PrototypesAreDeterministic) {
+  SyntheticImageConfig cfg;
+  const Tensor a = class_prototype(cfg, 3);
+  const Tensor b = class_prototype(cfg, 3);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(SyntheticImages, PrototypesDifferAcrossClasses) {
+  SyntheticImageConfig cfg;
+  for (std::size_t a = 0; a < cfg.num_classes; ++a)
+    for (std::size_t b = a + 1; b < cfg.num_classes; ++b)
+      EXPECT_GT(l2_distance(class_prototype(cfg, a), class_prototype(cfg, b)), 1.0)
+          << "classes " << a << " and " << b;
+}
+
+TEST(SyntheticImages, SampleShapeMatchesConfig) {
+  SyntheticImageConfig cfg;
+  cfg.channels = 2;
+  cfg.height = 12;
+  cfg.width = 10;
+  Rng rng(1);
+  const Tensor s = sample_image(cfg, 0, 0.3, rng);
+  EXPECT_EQ(s.shape(), (tensor::Shape{2, 12, 10}));
+}
+
+TEST(SyntheticImages, DifficultyControlsDistanceToPrototype) {
+  SyntheticImageConfig cfg;
+  Rng rng(2);
+  const Tensor proto = class_prototype(cfg, 5);
+  double easy_dist = 0.0, hard_dist = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    easy_dist += l2_distance(sample_image(cfg, 5, 0.05, rng), proto);
+    hard_dist += l2_distance(sample_image(cfg, 5, 0.95, rng), proto);
+  }
+  EXPECT_LT(easy_dist, hard_dist * 0.65)
+      << "easy samples must sit much closer to their class prototype";
+}
+
+TEST(SyntheticImages, EasySamplesNearestPrototypeClassification) {
+  // A trivial nearest-prototype classifier should get easy samples nearly
+  // always right and hard samples much less often — the property the staged
+  // scheduler exploits.
+  SyntheticImageConfig cfg;
+  Rng rng(3);
+  auto nearest = [&](const Tensor& x) {
+    std::size_t best = 0;
+    double best_d = 1e18;
+    for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+      const double d = l2_distance(x, class_prototype(cfg, c));
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    return best;
+  };
+  std::size_t easy_ok = 0, hard_ok = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t label = static_cast<std::size_t>(rng.uniform_int(0, 9));
+    easy_ok += nearest(sample_image(cfg, label, 0.05, rng)) == label ? 1 : 0;
+    hard_ok += nearest(sample_image(cfg, label, 0.98, rng)) == label ? 1 : 0;
+  }
+  EXPECT_GT(easy_ok, 90);
+  EXPECT_LT(hard_ok, easy_ok - 15);
+}
+
+TEST(SyntheticImages, GeneratorHonorsClassWeights) {
+  SyntheticImageConfig cfg;
+  Rng rng(4);
+  std::vector<double> weights(cfg.num_classes, 0.0);
+  weights[2] = 3.0;
+  weights[7] = 1.0;
+  const Dataset d = generate_images_weighted(cfg, 800, weights, rng);
+  std::size_t c2 = 0, c7 = 0;
+  for (std::size_t label : d.labels) {
+    EXPECT_TRUE(label == 2 || label == 7);
+    c2 += label == 2 ? 1 : 0;
+    c7 += label == 7 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / 800.0, 0.75, 0.06);
+  EXPECT_NEAR(static_cast<double>(c7) / 800.0, 0.25, 0.06);
+}
+
+TEST(SyntheticImages, DifficultySkewShiftsDistribution) {
+  SyntheticImageConfig easy_cfg;
+  easy_cfg.difficulty_skew = 3.0;  // d = u³ → mostly easy
+  SyntheticImageConfig flat_cfg;
+  flat_cfg.difficulty_skew = 1.0;  // uniform
+  Rng rng1(5), rng2(5);
+  const Dataset easy = generate_images(easy_cfg, 400, rng1);
+  const Dataset flat = generate_images(flat_cfg, 400, rng2);
+  const double mean_easy =
+      std::accumulate(easy.difficulty.begin(), easy.difficulty.end(), 0.0) / 400.0;
+  const double mean_flat =
+      std::accumulate(flat.difficulty.begin(), flat.difficulty.end(), 0.0) / 400.0;
+  EXPECT_LT(mean_easy, mean_flat - 0.15);
+}
+
+TEST(TimeSeries, PrototypeDeterministicAndClassDistinct) {
+  TimeSeriesConfig cfg;
+  const Tensor a = series_prototype(cfg, 1);
+  const Tensor b = series_prototype(cfg, 1);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+  EXPECT_GT(l2_distance(series_prototype(cfg, 0), series_prototype(cfg, 1)), 1.0);
+}
+
+TEST(TimeSeries, GeneratorShapesAndLabels) {
+  TimeSeriesConfig cfg;
+  cfg.channels = 3;
+  cfg.length = 32;
+  Rng rng(6);
+  const Dataset d = generate_series(cfg, 60, rng);
+  EXPECT_EQ(d.size(), 60u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.samples[i].shape(), (tensor::Shape{3, 32}));
+    EXPECT_LT(d.labels[i], cfg.num_classes);
+  }
+}
+
+TEST(TimeSeries, DifficultyIncreasesDeviation) {
+  TimeSeriesConfig cfg;
+  Rng rng(7);
+  const Tensor proto = series_prototype(cfg, 2);
+  double easy = 0.0, hard = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    easy += l2_distance(sample_series(cfg, 2, 0.05, rng), proto);
+    hard += l2_distance(sample_series(cfg, 2, 0.95, rng), proto);
+  }
+  EXPECT_LT(easy, hard);
+}
+
+}  // namespace
+}  // namespace eugene::data

@@ -1,0 +1,121 @@
+// Labeling-service tests: adoption mechanics, pseudo-label quality, and the
+// end-to-end benefit of self-training over labeled-only training.
+#include <gtest/gtest.h>
+
+#include "data/synthetic_images.hpp"
+#include "labeling/self_training.hpp"
+
+namespace eugene::labeling {
+namespace {
+
+data::SyntheticImageConfig data_config() {
+  data::SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.noise_stddev = 0.15;
+  return cfg;
+}
+
+/// A small MLP classifier factory (flatten → dense → relu → dense).
+SelfTrainingLabeler::ModelFactory mlp_factory() {
+  return [](std::uint64_t variant) {
+    Rng rng(1000 + variant);
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Flatten>())
+        .add(std::make_unique<nn::Dense>(2 * 8 * 8, 24, rng))
+        .add(std::make_unique<nn::ReLU>())
+        .add(std::make_unique<nn::Dense>(24, 4, rng));
+    return net;
+  };
+}
+
+SelfTrainingConfig fast_config() {
+  SelfTrainingConfig cfg;
+  cfg.rounds = 3;
+  cfg.adopt_confidence = 0.8;
+  cfg.training.epochs = 8;
+  return cfg;
+}
+
+TEST(SelfTraining, AdoptsHighConfidenceSamplesWithGoodLabels) {
+  Rng rng(20);
+  const data::Dataset labeled = data::generate_images(data_config(), 80, rng);
+  const data::Dataset unlabeled = data::generate_images(data_config(), 200, rng);
+
+  SelfTrainingLabeler labeler(mlp_factory(), fast_config());
+  LabelingReport report;
+  const data::Dataset augmented = labeler.run(labeled, unlabeled, &report);
+
+  EXPECT_GT(report.adopted_total, 30u) << "should adopt a meaningful fraction";
+  EXPECT_LE(report.adopted_total, unlabeled.size());
+  EXPECT_EQ(augmented.size(), labeled.size() + report.adopted_total);
+  EXPECT_GT(report.pseudo_label_accuracy, 0.8)
+      << "confidence + agreement filtering must keep pseudo-labels clean";
+}
+
+TEST(SelfTraining, AgreementFilterIsMoreSelective) {
+  Rng rng(21);
+  const data::Dataset labeled = data::generate_images(data_config(), 60, rng);
+  const data::Dataset unlabeled = data::generate_images(data_config(), 150, rng);
+
+  SelfTrainingConfig strict = fast_config();
+  strict.require_agreement = true;
+  SelfTrainingConfig loose = fast_config();
+  loose.require_agreement = false;
+
+  LabelingReport strict_report, loose_report;
+  SelfTrainingLabeler(mlp_factory(), strict).run(labeled, unlabeled, &strict_report);
+  SelfTrainingLabeler(mlp_factory(), loose).run(labeled, unlabeled, &loose_report);
+  EXPECT_LE(strict_report.adopted_total, loose_report.adopted_total)
+      << "requiring two-model agreement can only shrink the adopted set";
+}
+
+TEST(SelfTraining, StopsWhenNothingNewIsAdopted) {
+  Rng rng(22);
+  const data::Dataset labeled = data::generate_images(data_config(), 60, rng);
+  const data::Dataset empty_pool;  // nothing to adopt
+
+  SelfTrainingConfig cfg = fast_config();
+  cfg.rounds = 5;
+  LabelingReport report;
+  SelfTrainingLabeler(mlp_factory(), cfg).run(labeled, empty_pool, &report);
+  EXPECT_EQ(report.adopted_total, 0u);
+  EXPECT_EQ(report.adopted_per_round.size(), 1u)
+      << "labeler must converge after the first empty round";
+}
+
+TEST(SelfTraining, BenefitOrderingHolds) {
+  Rng rng(23);
+  const data::Dataset labeled = data::generate_images(data_config(), 40, rng);
+  const data::Dataset unlabeled = data::generate_images(data_config(), 300, rng);
+  const data::Dataset test = data::generate_images(data_config(), 200, rng);
+
+  const BenefitReport report =
+      evaluate_labeling_benefit(mlp_factory(), labeled, unlabeled, test, fast_config());
+
+  // The SenseGAN-style claim: pseudo-labels recover much of the gap between
+  // labeled-only and fully supervised training.
+  EXPECT_GT(report.fully_supervised, report.labeled_only);
+  EXPECT_GT(report.self_trained, report.labeled_only - 0.02)
+      << "self-training should not hurt";
+  const double gap = report.fully_supervised - report.labeled_only;
+  const double recovered = report.self_trained - report.labeled_only;
+  if (gap > 0.05) {
+    EXPECT_GT(recovered, 0.25 * gap)
+        << "self-training should recover a substantial share of the gap";
+  }
+}
+
+TEST(SelfTraining, ValidatesConfiguration) {
+  EXPECT_THROW(SelfTrainingLabeler(nullptr, fast_config()), InvalidArgument);
+  SelfTrainingConfig bad = fast_config();
+  bad.adopt_confidence = 1.5;
+  EXPECT_THROW(SelfTrainingLabeler(mlp_factory(), bad), InvalidArgument);
+  SelfTrainingLabeler ok(mlp_factory(), fast_config());
+  EXPECT_THROW(ok.run(data::Dataset{}, data::Dataset{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace eugene::labeling

@@ -1,0 +1,294 @@
+// Reduction & caching tests: edge pruning, CSR sparse baseline, channel
+// (node) pruning with weight transfer, the frequency tracker, the cache
+// model, the cached-inference service, and the cache controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/train.hpp"
+#include "reduce/cache.hpp"
+#include "reduce/pruning.hpp"
+#include "reduce/simple_cnn.hpp"
+#include "reduce/sparse.hpp"
+
+namespace eugene::reduce {
+namespace {
+
+using tensor::Tensor;
+
+data::SyntheticImageConfig small_data_config() {
+  data::SyntheticImageConfig cfg;
+  cfg.num_classes = 5;
+  cfg.channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  return cfg;
+}
+
+SimpleCnnConfig small_cnn_config() {
+  SimpleCnnConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 5;
+  cfg.conv_channels = {8, 8};
+  return cfg;
+}
+
+TEST(SimpleCnn, ForwardShapeAndParamAccounting) {
+  SimpleCnn net(small_cnn_config());
+  Rng rng(1);
+  const Tensor out = net.forward(Tensor::randn({2, 8, 8}, rng));
+  EXPECT_EQ(out.numel(), 5u);
+  EXPECT_EQ(net.num_conv_layers(), 2u);
+  EXPECT_GT(net.flops(), 0.0);
+  // conv1: 8·(2·9)+8, conv2: 8·(8·9)+8, one norm (last block has none):
+  // 8+8, head: 5·8+5.
+  EXPECT_EQ(net.param_count(),
+            (8u * 18u + 8u) + (8u * 72u + 8u) + 16u + (5u * 8u + 5u));
+}
+
+TEST(EdgePruning, ZeroesSmallestMagnitudes) {
+  Tensor w({6}, std::vector<float>{0.1f, -0.9f, 0.05f, 0.7f, -0.02f, 0.3f});
+  const std::size_t zeroed = prune_edges_by_magnitude(w, 0.5);
+  EXPECT_EQ(zeroed, 3u);
+  EXPECT_NEAR(sparsity(w), 0.5, 1e-9);
+  // The large weights survive.
+  EXPECT_FLOAT_EQ(w.at(1), -0.9f);
+  EXPECT_FLOAT_EQ(w.at(3), 0.7f);
+  EXPECT_FLOAT_EQ(w.at(2), 0.0f);
+}
+
+TEST(EdgePruning, FractionBounds) {
+  Tensor w({4}, 1.0f);
+  EXPECT_EQ(prune_edges_by_magnitude(w, 0.0), 0u);
+  EXPECT_THROW(prune_edges_by_magnitude(w, 1.5), InvalidArgument);
+}
+
+TEST(Sparse, CsrMatchesDenseMultiply) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({20, 30}, rng);
+  prune_edges_by_magnitude(a, 0.7);
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  std::vector<float> x(30);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto y_dense = dense_multiply(a, x);
+  const auto y_sparse = csr.multiply(x);
+  ASSERT_EQ(y_dense.size(), y_sparse.size());
+  for (std::size_t i = 0; i < y_dense.size(); ++i)
+    EXPECT_NEAR(y_dense[i], y_sparse[i], 1e-4);
+}
+
+TEST(Sparse, StorageOverheadIsRealUntilVerySparse) {
+  // The paper's §II-B point: CSR stores index overhead per nonzero, so at
+  // 50% sparsity the "compressed" matrix is larger than the dense one.
+  Rng rng(3);
+  Tensor a = Tensor::randn({64, 64}, rng);
+  const std::size_t dense_bytes = a.numel() * sizeof(float);
+  prune_edges_by_magnitude(a, 0.5);
+  EXPECT_GT(CsrMatrix::from_dense(a).storage_bytes(), dense_bytes);
+  prune_edges_by_magnitude(a, 0.95);
+  EXPECT_LT(CsrMatrix::from_dense(a).storage_bytes(), dense_bytes);
+}
+
+TEST(ChannelPruning, ImportanceRanksFilters) {
+  SimpleCnn net(small_cnn_config());
+  // Make filter 3 of conv 0 clearly dominant and filter 0 nearly dead.
+  nn::Conv2d& conv = net.conv(0);
+  for (std::size_t j = 0; j < conv.weights().dim(1); ++j) {
+    conv.weights().at(3, j) = 5.0f;
+    conv.weights().at(0, j) = 1e-4f;
+  }
+  const auto importance = channel_importance(conv);
+  EXPECT_GT(importance[3], importance[1]);
+  EXPECT_LT(importance[0], importance[1]);
+}
+
+TEST(ChannelPruning, ProducesSmallerDenseModel) {
+  SimpleCnn net(small_cnn_config());
+  const std::size_t before_params = net.param_count();
+  const double before_flops = net.flops();
+  SimpleCnn reduced = prune_channels(net, 0.5);
+  EXPECT_EQ(reduced.config().conv_channels[0], 4u);
+  EXPECT_EQ(reduced.config().conv_channels[1], 4u);
+  EXPECT_LT(reduced.param_count(), before_params / 2);
+  EXPECT_LT(reduced.flops(), before_flops * 0.6);
+  // Still a working dense model.
+  Rng rng(4);
+  const Tensor out = reduced.forward(Tensor::randn({2, 8, 8}, rng));
+  EXPECT_EQ(out.numel(), 5u);
+}
+
+TEST(ChannelPruning, WeightTransferPreservesFunctionApproximately) {
+  // Train, prune mildly, fine-tune briefly: accuracy should hold up.
+  Rng rng(5);
+  const data::Dataset train = data::generate_images(small_data_config(), 300, rng);
+  const data::Dataset test = data::generate_images(small_data_config(), 150, rng);
+  SimpleCnn net(small_cnn_config());
+  nn::ClassifierTrainConfig tcfg;
+  tcfg.epochs = 15;
+  finetune(net, train, tcfg);
+  const double full_acc = accuracy(net, test);
+  EXPECT_GT(full_acc, 0.5);
+
+  SimpleCnn reduced = prune_channels(net, 0.75);
+  nn::ClassifierTrainConfig ft;
+  ft.epochs = 3;
+  finetune(reduced, train, ft);
+  const double reduced_acc = accuracy(reduced, test);
+  EXPECT_GT(reduced_acc, full_acc - 0.15)
+      << "mild node pruning plus fine-tuning should not collapse accuracy";
+}
+
+TEST(ChannelPruning, RespectsMinChannels) {
+  SimpleCnn net(small_cnn_config());
+  SimpleCnn reduced = prune_channels(net, 0.01, 3);
+  EXPECT_EQ(reduced.config().conv_channels[0], 3u);
+  EXPECT_THROW(prune_channels(net, 0.5, 100), InvalidArgument);
+}
+
+TEST(FrequencyTracker, DetectsFrequentSet) {
+  FrequencyTracker tracker(100);
+  for (int i = 0; i < 60; ++i) tracker.observe(2);
+  for (int i = 0; i < 25; ++i) tracker.observe(7);
+  for (int i = 0; i < 15; ++i) tracker.observe(i % 5);
+  // Window of 100: 60× class 2, 25× class 7, 15× classes {0..4} round robin
+  // (which adds 3 more observations of class 2 → share 0.63).
+  const auto set = tracker.frequent_set(0.7);
+  ASSERT_GE(set.size(), 2u);
+  EXPECT_EQ(set[0], 2u);
+  EXPECT_EQ(set[1], 7u);
+  EXPECT_NEAR(tracker.share(2), 0.63, 1e-9);
+}
+
+TEST(FrequencyTracker, WindowSlides) {
+  FrequencyTracker tracker(10);
+  for (int i = 0; i < 10; ++i) tracker.observe(1);
+  for (int i = 0; i < 10; ++i) tracker.observe(3);
+  EXPECT_NEAR(tracker.share(1), 0.0, 1e-9);
+  EXPECT_NEAR(tracker.share(3), 1.0, 1e-9);
+}
+
+class CacheIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(6);
+    // Traffic dominated by classes 1 and 3 (the "beer and pop bottles").
+    std::vector<double> weights = {0.05, 0.4, 0.05, 0.4, 0.1};
+    train_ = new data::Dataset(
+        data::generate_images_weighted(small_data_config(), 500, weights, rng));
+    test_ = new data::Dataset(
+        data::generate_images_weighted(small_data_config(), 200, weights, rng));
+
+    nn::StagedResNetConfig server_cfg;
+    server_cfg.in_channels = 2;
+    server_cfg.height = 8;
+    server_cfg.width = 8;
+    server_cfg.num_classes = 5;
+    server_cfg.stage_channels = {4, 8, 12};
+    server_ = new nn::StagedModel(nn::build_staged_resnet(server_cfg));
+    nn::StagedTrainConfig tcfg;
+    tcfg.epochs = 6;
+    nn::StagedTrainer trainer(*server_, tcfg);
+    trainer.fit(train_->samples, train_->labels);
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete server_;
+    train_ = test_ = nullptr;
+    server_ = nullptr;
+  }
+
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+  static nn::StagedModel* server_;
+};
+
+data::Dataset* CacheIntegration::train_ = nullptr;
+data::Dataset* CacheIntegration::test_ = nullptr;
+nn::StagedModel* CacheIntegration::server_ = nullptr;
+
+TEST_F(CacheIntegration, CacheModelLearnsFrequentClasses) {
+  CacheBuildConfig cfg;
+  cfg.architecture = small_cnn_config();
+  cfg.training.epochs = 12;
+  Rng rng(7);
+  CacheModel cache = build_cache_model(*train_, {1, 3}, cfg, rng);
+  EXPECT_EQ(cache.other_label, 2u);
+  EXPECT_EQ(cache.to_original(0), 1u);
+  EXPECT_EQ(cache.to_original(1), 3u);
+  EXPECT_FALSE(cache.to_original(2).has_value());
+
+  // Cache model should classify frequent-class samples well.
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i < test_->size(); ++i) {
+    if (test_->labels[i] != 1 && test_->labels[i] != 3) continue;
+    ++total;
+    const auto probs = nn::softmax_probs(cache.model.forward(test_->samples[i]));
+    const auto mapped = cache.to_original(argmax(probs));
+    if (mapped.has_value() && *mapped == test_->labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.6);
+}
+
+TEST_F(CacheIntegration, CachedServiceHitsAreFastMissesEscalate) {
+  CacheBuildConfig cfg;
+  cfg.architecture = small_cnn_config();
+  cfg.training.epochs = 12;
+  Rng rng(8);
+  CacheModel cache = build_cache_model(*train_, {1, 3}, cfg, rng);
+  CacheCostModel costs;
+  CachedInferenceService service(std::move(cache), *server_, 0.5, costs);
+
+  double hit_latency = -1.0, miss_latency = -1.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test_->size(); ++i) {
+    const CachedResult r = service.infer(test_->samples[i]);
+    if (r.cache_hit)
+      hit_latency = r.latency_ms;
+    else
+      miss_latency = r.latency_ms;
+    if (r.label == test_->labels[i]) ++correct;
+  }
+  EXPECT_GT(service.hits(), 0u);
+  EXPECT_GT(service.misses(), 0u);
+  EXPECT_DOUBLE_EQ(hit_latency, costs.device_ms);
+  EXPECT_DOUBLE_EQ(miss_latency, costs.device_ms + costs.network_ms + costs.server_ms);
+  EXPECT_GT(service.hit_rate(), 0.4) << "traffic is 80% frequent classes";
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test_->size()), 0.5);
+}
+
+TEST(CacheController, BuildsThenDropsOnTrafficDrift) {
+  CacheController::Config cfg;
+  cfg.decision_window = 20;
+  cfg.coverage = 0.6;
+  cfg.max_cache_classes = 2;
+  cfg.min_hit_rate = 0.5;
+  CacheController controller(6, cfg);
+
+  // Phase 1: class 0 dominates → Build.
+  CacheController::Action action = CacheController::Action::None;
+  for (int i = 0; i < 40 && action == CacheController::Action::None; ++i)
+    action = controller.observe(0, std::nullopt);
+  ASSERT_EQ(action, CacheController::Action::Build);
+  EXPECT_EQ(controller.recommended_classes()[0], 0u);
+  controller.mark_built();
+
+  // Phase 2: traffic scatters and the cache stops hitting → Rebuild/Drop.
+  action = CacheController::Action::None;
+  int step = 0;
+  while (action == CacheController::Action::None && step < 200) {
+    controller.observe(1 + step % 5, false);
+    action = controller.observe(1 + (step + 1) % 5, false);
+    step += 2;
+  }
+  EXPECT_NE(action, CacheController::Action::None);
+  EXPECT_NE(action, CacheController::Action::Build);
+}
+
+}  // namespace
+}  // namespace eugene::reduce

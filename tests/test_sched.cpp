@@ -1,0 +1,486 @@
+// Scheduler tests: utility estimators, policies, the discrete-event engine,
+// the workload builder, and the live threaded scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_images.hpp"
+#include "nn/train.hpp"
+#include "sched/live.hpp"
+#include "sched/policy.hpp"
+#include "sched/simulator.hpp"
+#include "sched/workload.hpp"
+
+namespace eugene::sched {
+namespace {
+
+/// Synthetic 3-stage confidence-curve model: c_{s+1} = a_s + b_s·c_s.
+gp::ConfidenceCurveModel linear_curve_model() {
+  calib::StagedEvaluation eval;
+  eval.records.resize(3);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const double c1 = rng.uniform(0.1, 0.9);
+    const double c2 = std::min(1.0, 0.2 + 0.8 * c1 + rng.normal(0.0, 0.02));
+    const double c3 = std::min(1.0, 0.4 + 0.6 * c2 + rng.normal(0.0, 0.02));
+    const double cs[3] = {c1, c2, c3};
+    for (std::size_t s = 0; s < 3; ++s) {
+      calib::StageRecord r;
+      r.confidence = static_cast<float>(std::max(0.0, cs[s]));
+      eval.records[s].push_back(r);
+    }
+  }
+  gp::ConfidenceCurveModel curves;
+  curves.fit(eval);
+  return curves;
+}
+
+TEST(ConstantSlopeEstimator, ColdStartUsesPrior) {
+  ConstantSlopeEstimator est({0.5, 0.7, 0.85}, 0.1);
+  EXPECT_DOUBLE_EQ(est.predict_confidence_after({}, 0), 0.5);
+  EXPECT_DOUBLE_EQ(est.predict_confidence_after({}, 2), 0.85);
+}
+
+TEST(ConstantSlopeEstimator, ExtrapolatesLastSlope) {
+  ConstantSlopeEstimator est({0.5, 0.7, 0.85}, 0.1);
+  // One observation: slope measured from the random-guess baseline.
+  const std::vector<double> one = {0.4};
+  EXPECT_NEAR(est.predict_confidence_after(one, 1), 0.4 + (0.4 - 0.1), 1e-12);
+  // Two observations: slope of the latest stage.
+  const std::vector<double> two = {0.4, 0.6};
+  EXPECT_NEAR(est.predict_confidence_after(two, 2), 0.8, 1e-12);
+}
+
+TEST(ConstantSlopeEstimator, ClampsToUnitInterval) {
+  ConstantSlopeEstimator est({0.5, 0.7, 0.85}, 0.1);
+  const std::vector<double> two = {0.5, 0.95};
+  EXPECT_DOUBLE_EQ(est.predict_confidence_after(two, 2), 1.0);
+}
+
+TEST(ConstantSlopeEstimator, MultiHopExtrapolationAndValidation) {
+  ConstantSlopeEstimator est({0.5, 0.7, 0.85}, 0.1);
+  // Two hops from one observation: slope (0.4 − 0.1) applied twice.
+  const std::vector<double> one = {0.4};
+  EXPECT_NEAR(est.predict_confidence_after(one, 2), 1.0, 1e-12);  // clamped
+  // History may not already cover the requested stage.
+  const std::vector<double> three = {0.4, 0.5, 0.6};
+  EXPECT_THROW(est.predict_confidence_after(three, 2), InvalidArgument);
+  EXPECT_THROW(est.predict_confidence_after(three, 5), InvalidArgument);
+}
+
+TEST(GpUtilityEstimator, UsesCurveModelAndPriors) {
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  EXPECT_NEAR(est.predict_confidence_after({}, 0), curves.prior_confidence(0), 1e-12);
+  const std::vector<double> one = {0.5};
+  EXPECT_NEAR(est.predict_confidence_after(one, 1), 0.2 + 0.8 * 0.5, 0.05);
+}
+
+TaskView make_view(std::size_t id, std::size_t service, double arrival, double deadline,
+                   std::size_t done, std::size_t total,
+                   const std::vector<double>& conf) {
+  TaskView v;
+  v.task_id = id;
+  v.service = service;
+  v.arrival_ms = arrival;
+  v.deadline_ms = deadline;
+  v.stages_done = done;
+  v.total_stages = total;
+  v.observed_confidence = conf;
+  return v;
+}
+
+TEST(FifoPolicy, PicksEarliestArrival) {
+  FifoPolicy policy;
+  const std::vector<double> none;
+  std::vector<TaskView> runnable = {make_view(0, 0, 5.0, 100, 0, 3, none),
+                                    make_view(1, 0, 2.0, 100, 0, 3, none),
+                                    make_view(2, 0, 9.0, 100, 0, 3, none)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 1u);
+}
+
+TEST(EdfPolicy, PicksEarliestDeadline) {
+  EarliestDeadlinePolicy policy;
+  const std::vector<double> none;
+  std::vector<TaskView> runnable = {make_view(0, 0, 0.0, 300, 0, 3, none),
+                                    make_view(1, 0, 0.0, 100, 0, 3, none),
+                                    make_view(2, 0, 0.0, 200, 0, 3, none)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 1u);
+}
+
+TEST(RoundRobinPolicy, RotatesAcrossServices) {
+  RoundRobinPolicy policy;
+  const std::vector<double> none;
+  std::vector<TaskView> runnable = {make_view(10, 0, 0.0, 100, 0, 3, none),
+                                    make_view(11, 1, 0.0, 100, 0, 3, none),
+                                    make_view(12, 2, 0.0, 100, 0, 3, none)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 10u);
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 11u);
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 12u);
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 10u);  // wraps
+}
+
+TEST(GreedyPolicy, PicksMaximumDifferentialUtility) {
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  GreedyUtilityPolicy policy(est, 1);
+  // Task 0 already confident (0.9 at stage 1 → small gain); task 1 fresh
+  // (no stages → utility = prior ≈ 0.65, large).
+  const std::vector<double> confident = {0.9};
+  const std::vector<double> none;
+  std::vector<TaskView> runnable = {make_view(0, 0, 0.0, 100, 1, 3, confident),
+                                    make_view(1, 0, 0.0, 100, 0, 3, none)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 1u);
+}
+
+TEST(GreedyPolicy, LookaheadPlansMultipleStagesOfBestTask) {
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  GreedyUtilityPolicy policy(est, 3);
+  // A single low-confidence task: the plan should schedule its remaining
+  // stages back to back.
+  const std::vector<double> low = {0.3};
+  std::vector<TaskView> runnable = {make_view(5, 0, 0.0, 100, 1, 3, low)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 5u);
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 5u);
+}
+
+TEST(GreedyPolicy, ServiceWeightsBiasSelection) {
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  GreedyUtilityPolicy policy(est, 1);
+  policy.set_service_weights({1.0, 10.0});
+  // Both tasks identical except service class; the weighted one wins.
+  const std::vector<double> c0 = {0.5};
+  const std::vector<double> c1 = {0.5};
+  std::vector<TaskView> runnable = {make_view(0, 0, 0.0, 100, 1, 3, c0),
+                                    make_view(1, 1, 0.0, 100, 1, 3, c1)};
+  EXPECT_EQ(policy.pick(runnable, 0.0).value(), 1u);
+  EXPECT_THROW(policy.set_service_weights({0.0}), InvalidArgument);
+}
+
+// ----------------------------------------------------------- simulator ----
+
+TaskSpec make_task(std::size_t id, std::size_t service, double arrival, double deadline,
+                   std::initializer_list<std::pair<bool, double>> stages) {
+  TaskSpec t;
+  t.id = id;
+  t.service = service;
+  t.arrival_ms = arrival;
+  t.deadline_ms = deadline;
+  for (const auto& [correct, conf] : stages) {
+    StageOutcome o;
+    o.correct = correct;
+    o.confidence = conf;
+    o.predicted = correct ? 1 : 0;
+    t.stages.push_back(o);
+  }
+  return t;
+}
+
+StageCostModel unit_costs() { return StageCostModel{{10.0, 10.0, 10.0}, 0.0}; }
+
+TEST(Simulator, CompletesEverythingWithGenerousDeadlines) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < 6; ++i)
+    tasks.push_back(make_task(i, i % 2, 0.0, 1e9,
+                              {{false, 0.4}, {false, 0.6}, {true, 0.9}}));
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  cfg.num_workers = 2;
+  const SimulationResult result = simulate(tasks, policy, unit_costs(), cfg);
+  ASSERT_EQ(result.services.size(), 2u);
+  for (const auto& s : result.services) {
+    EXPECT_EQ(s.tasks, 3u);
+    EXPECT_EQ(s.completed_all_stages, 3u);
+    EXPECT_EQ(s.correct, 3u);
+    EXPECT_EQ(s.stages_executed, 9u);
+  }
+  // 6 tasks × 3 stages × 10 ms over 2 workers = 90 ms of busy time.
+  EXPECT_NEAR(result.makespan_ms, 90.0, 1e-6);
+  EXPECT_EQ(result.exit_stage_histogram[3], 6u);
+}
+
+TEST(Simulator, DeadlineKillsRunningStageAndWastesWork) {
+  // One worker, one task whose first stage (10 ms) outlives a 5 ms deadline.
+  std::vector<TaskSpec> tasks = {
+      make_task(0, 0, 0.0, 5.0, {{true, 0.9}, {true, 0.95}, {true, 0.99}})};
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  cfg.num_workers = 1;
+  const SimulationResult result = simulate(tasks, policy, unit_costs(), cfg);
+  EXPECT_EQ(result.aborted_stage_executions, 1u);
+  EXPECT_EQ(result.services[0].expired_without_result, 1u);
+  EXPECT_EQ(result.services[0].correct, 0u);
+  EXPECT_EQ(result.exit_stage_histogram[0], 1u);
+}
+
+TEST(Simulator, KillDisabledLetsStageFinish) {
+  std::vector<TaskSpec> tasks = {
+      make_task(0, 0, 0.0, 5.0, {{true, 0.9}, {true, 0.95}, {true, 0.99}})};
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  cfg.num_workers = 1;
+  cfg.kill_at_deadline = false;
+  const SimulationResult result = simulate(tasks, policy, unit_costs(), cfg);
+  EXPECT_EQ(result.aborted_stage_executions, 0u);
+  // The stage completed after the deadline; the task answers with it.
+  EXPECT_EQ(result.services[0].correct, 1u);
+  EXPECT_EQ(result.services[0].stages_executed, 1u);
+}
+
+TEST(Simulator, EarlyExitSkipsRemainingStages) {
+  std::vector<TaskSpec> tasks = {
+      make_task(0, 0, 0.0, 1e9, {{true, 0.95}, {true, 0.97}, {true, 0.99}})};
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  cfg.num_workers = 1;
+  cfg.early_exit_confidence = 0.9;
+  const SimulationResult result = simulate(tasks, policy, unit_costs(), cfg);
+  EXPECT_EQ(result.services[0].early_exits, 1u);
+  EXPECT_EQ(result.services[0].stages_executed, 1u);
+  EXPECT_EQ(result.exit_stage_histogram[1], 1u);
+}
+
+TEST(Simulator, PartialResultCountsAtDeadline) {
+  // Stage 1 (correct, 0.6) finishes at t=10; deadline at 15 kills the task
+  // during stage 2: final answer is stage 1's label.
+  std::vector<TaskSpec> tasks = {
+      make_task(0, 0, 0.0, 15.0, {{true, 0.6}, {false, 0.8}, {false, 0.9}})};
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  cfg.num_workers = 1;
+  const SimulationResult result = simulate(tasks, policy, unit_costs(), cfg);
+  EXPECT_EQ(result.services[0].correct, 1u);
+  EXPECT_EQ(result.services[0].expired_with_result, 1u);
+  EXPECT_EQ(result.aborted_stage_executions, 1u);
+  EXPECT_EQ(result.exit_stage_histogram[1], 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  Rng rng(3);
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const double c1 = rng.uniform(0.2, 0.8);
+    tasks.push_back(make_task(i, i % 5, rng.uniform(0.0, 50.0), 1e9,
+                              {{rng.bernoulli(c1), c1},
+                               {rng.bernoulli(0.7), 0.7},
+                               {rng.bernoulli(0.9), 0.9}}));
+  }
+  GreedyUtilityPolicy p1(est, 2), p2(est, 2);
+  SimulationConfig cfg;
+  cfg.num_workers = 3;
+  const auto r1 = simulate(tasks, p1, unit_costs(), cfg);
+  const auto r2 = simulate(tasks, p2, unit_costs(), cfg);
+  EXPECT_EQ(r1.mean_accuracy(), r2.mean_accuracy());
+  EXPECT_EQ(r1.makespan_ms, r2.makespan_ms);
+}
+
+TEST(Simulator, UtilitySchedulingBeatsFifoUnderOverload) {
+  // 1 worker, tight shared deadline: FIFO burns all budget finishing early
+  // arrivals' stage 3 while the greedy scheduler spreads stage 1 across
+  // everyone (first stages have the largest confidence gain).
+  const auto curves = linear_curve_model();
+  GpUtilityEstimator est(curves);
+  std::vector<TaskSpec> tasks;
+  Rng rng(4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    // Stage 1 already gives a mostly right answer; later stages refine.
+    tasks.push_back(make_task(i, i, 0.0, 60.0,
+                              {{rng.bernoulli(0.8), 0.75},
+                               {rng.bernoulli(0.85), 0.85},
+                               {rng.bernoulli(0.95), 0.95}}));
+  }
+  SimulationConfig cfg;
+  cfg.num_workers = 1;
+  GreedyUtilityPolicy greedy(est, 1);
+  FifoPolicy fifo;
+  const auto r_greedy = simulate(tasks, greedy, unit_costs(), cfg);
+  const auto r_fifo = simulate(tasks, fifo, unit_costs(), cfg);
+  // Budget: 6 stage slots for 10 tasks. FIFO fully serves 2 tasks; greedy
+  // gives 6 tasks their first stage.
+  EXPECT_GT(r_greedy.mean_accuracy(), r_fifo.mean_accuracy());
+}
+
+TEST(Simulator, ValidatesInputs) {
+  FifoPolicy policy;
+  SimulationConfig cfg;
+  EXPECT_THROW(simulate({}, policy, unit_costs(), cfg), InvalidArgument);
+  std::vector<TaskSpec> tasks = {make_task(0, 0, 0.0, 1e9, {})};
+  EXPECT_THROW(simulate(tasks, policy, unit_costs(), cfg), InvalidArgument);
+  std::vector<TaskSpec> four_stages = {
+      make_task(0, 0, 0.0, 1e9,
+                {{true, 0.5}, {true, 0.6}, {true, 0.7}, {true, 0.8}})};
+  EXPECT_THROW(simulate(four_stages, policy, unit_costs(), cfg), InvalidArgument);
+}
+
+// ------------------------------------------------------------ workload ----
+
+calib::StagedEvaluation tiny_eval() {
+  calib::StagedEvaluation eval;
+  eval.records.resize(3);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      calib::StageRecord r;
+      r.predicted = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      r.truth = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      r.confidence = static_cast<float>(rng.uniform(0.3, 1.0));
+      eval.records[s].push_back(r);
+    }
+  }
+  return eval;
+}
+
+TEST(Workload, BuildsRequestedStreams) {
+  const auto eval = tiny_eval();
+  WorkloadConfig cfg;
+  cfg.num_services = 4;
+  cfg.tasks_per_service = 10;
+  cfg.deadline_ms = 50.0;
+  Rng rng(6);
+  const auto tasks = build_workload(eval, cfg, rng);
+  ASSERT_EQ(tasks.size(), 40u);
+  std::vector<double> last_arrival(4, -1.0);
+  std::set<std::size_t> ids;
+  for (const auto& t : tasks) {
+    EXPECT_LT(t.service, 4u);
+    EXPECT_EQ(t.stages.size(), 3u);
+    EXPECT_GT(t.arrival_ms, last_arrival[t.service]);
+    last_arrival[t.service] = t.arrival_ms;
+    EXPECT_DOUBLE_EQ(t.deadline_ms, t.arrival_ms + 50.0);
+    ids.insert(t.id);
+  }
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(Workload, CostModelFromFlops) {
+  const auto costs = cost_model_from_flops({1e6, 2e6, 4e6}, 1e5);
+  ASSERT_EQ(costs.num_stages(), 3u);
+  EXPECT_DOUBLE_EQ(costs.stage_ms[0], 10.0);
+  EXPECT_DOUBLE_EQ(costs.stage_ms[2], 40.0);
+  EXPECT_THROW(cost_model_from_flops({}, 1.0), InvalidArgument);
+  EXPECT_THROW(cost_model_from_flops({1.0}, 0.0), InvalidArgument);
+}
+
+TEST(Workload, JitterStaysWithinBounds) {
+  StageCostModel costs{{10.0}, 0.2};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double d = costs.duration_ms(0, rng);
+    EXPECT_GE(d, 8.0);
+    EXPECT_LE(d, 12.0);
+  }
+}
+
+// ------------------------------------------------------- live scheduler ----
+
+TEST(LiveScheduler, MatchesDirectInferenceWithoutDeadlines) {
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.num_classes = 4;
+  data_cfg.channels = 2;
+  data_cfg.height = 8;
+  data_cfg.width = 8;
+  Rng rng(8);
+  const data::Dataset train = data::generate_images(data_cfg, 200, rng);
+  const data::Dataset batch = data::generate_images(data_cfg, 12, rng);
+
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4, 6, 8};
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  nn::StagedTrainConfig tcfg;
+  tcfg.epochs = 3;
+  nn::StagedTrainer trainer(model, tcfg);
+  trainer.fit(train.samples, train.labels);
+
+  const calib::StagedEvaluation eval = calib::evaluate_staged(model, train);
+  gp::ConfidenceCurveModel curves;
+  curves.fit(eval);
+
+  auto replicas = replicate_staged_model(
+      model, [cfg] { return nn::build_staged_resnet(cfg); }, 2);
+  LiveConfig live_cfg;  // no deadline, no early exit
+  const auto results = run_live(replicas, curves, batch.samples, live_cfg);
+
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stages_run, 3u);
+    EXPECT_FALSE(results[i].expired);
+    const auto direct = model.forward_all(batch.samples[i]);
+    EXPECT_EQ(results[i].label, direct.back().predicted_label);
+    EXPECT_NEAR(results[i].confidence, direct.back().confidence, 1e-5);
+  }
+}
+
+TEST(LiveScheduler, EarlyExitReducesExecutedStages) {
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.num_classes = 4;
+  data_cfg.channels = 2;
+  data_cfg.height = 8;
+  data_cfg.width = 8;
+  data_cfg.noise_stddev = 0.05;  // easy data → high early confidence
+  Rng rng(9);
+  const data::Dataset train = data::generate_images(data_cfg, 250, rng);
+  const data::Dataset batch = data::generate_images(data_cfg, 10, rng);
+
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4, 6, 8};
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  nn::StagedTrainConfig tcfg;
+  tcfg.epochs = 6;
+  nn::StagedTrainer trainer(model, tcfg);
+  trainer.fit(train.samples, train.labels);
+
+  const calib::StagedEvaluation eval = calib::evaluate_staged(model, train);
+  gp::ConfidenceCurveModel curves;
+  curves.fit(eval);
+
+  auto replicas = replicate_staged_model(
+      model, [cfg] { return nn::build_staged_resnet(cfg); }, 1);
+  LiveConfig live_cfg;
+  live_cfg.early_exit_confidence = 0.4;  // 4 classes: chance level is 0.25
+  const auto results = run_live(replicas, curves, batch.samples, live_cfg);
+  std::size_t total_stages = 0;
+  for (const auto& r : results) total_stages += r.stages_run;
+  EXPECT_LT(total_stages, 3 * results.size())
+      << "at least one easy sample should exit early";
+}
+
+TEST(LiveScheduler, ReplicasShareWeights) {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4, 6, 8};
+  cfg.seed = 77;
+  nn::StagedModel source = nn::build_staged_resnet(cfg);
+  auto replicas = replicate_staged_model(
+      source, [cfg]() mutable {
+        nn::StagedResNetConfig c = cfg;
+        c.seed = 123;  // replica init differs; weights must be copied
+        return nn::build_staged_resnet(c);
+      },
+      3);
+  Rng rng(10);
+  const tensor::Tensor input = tensor::Tensor::randn({2, 8, 8}, rng);
+  const auto expected = source.forward_all(input);
+  for (auto& replica : replicas) {
+    const auto got = replica->forward_all(input);
+    EXPECT_EQ(got.back().predicted_label, expected.back().predicted_label);
+    EXPECT_NEAR(got.back().confidence, expected.back().confidence, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace eugene::sched

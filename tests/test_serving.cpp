@@ -1,0 +1,206 @@
+// Serving-layer and EugeneService facade tests: registry semantics, the
+// inference server's scheduling/early-exit/deadline behaviour, service
+// classes, and the end-to-end train → calibrate → profile → infer flow.
+#include <gtest/gtest.h>
+
+#include "core/eugene_service.hpp"
+#include "data/synthetic_images.hpp"
+
+namespace eugene {
+namespace {
+
+data::SyntheticImageConfig data_config() {
+  data::SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  return cfg;
+}
+
+nn::StagedResNetConfig model_config() {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4, 6, 8};
+  cfg.head_hidden = 16;
+  return cfg;
+}
+
+TEST(ModelRegistry, AddFindAndDuplicateRejection) {
+  serving::ModelRegistry registry;
+  const std::size_t h1 = registry.add("alpha", nn::build_staged_resnet(model_config()));
+  const std::size_t h2 = registry.add("beta", nn::build_staged_resnet(model_config()));
+  EXPECT_EQ(h1, 0u);
+  EXPECT_EQ(h2, 1u);
+  EXPECT_EQ(registry.find("beta").value(), 1u);
+  EXPECT_FALSE(registry.find("gamma").has_value());
+  EXPECT_THROW(registry.add("alpha", nn::build_staged_resnet(model_config())),
+               InvalidArgument);
+  EXPECT_THROW(registry.entry(5), InvalidArgument);
+}
+
+TEST(InferenceServer, RefusesUncalibratedModels) {
+  serving::ModelRegistry registry;
+  registry.add("raw", nn::build_staged_resnet(model_config()));
+  EXPECT_THROW(serving::InferenceServer(registry.entry(0), serving::ServerConfig{}),
+               InvalidArgument);
+}
+
+// Shared fixture: one fully prepared EugeneService.
+class ServiceIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(30);
+    train_ = new data::Dataset(data::generate_images(data_config(), 350, rng));
+    calib_ = new data::Dataset(data::generate_images(data_config(), 200, rng));
+    test_ = new data::Dataset(data::generate_images(data_config(), 60, rng));
+
+    service_ = new core::EugeneService();
+    nn::StagedTrainConfig tcfg;
+    tcfg.epochs = 8;
+    handle_ = service_->train("resnet-tiny", *train_, model_config(), tcfg);
+
+    // Default calibration config: wide alpha grid, full fine-tune budget.
+    report_ = service_->calibrate(handle_, *calib_);
+  }
+
+  static void TearDownTestSuite() {
+    delete service_;
+    delete train_;
+    delete calib_;
+    delete test_;
+    service_ = nullptr;
+    train_ = calib_ = test_ = nullptr;
+  }
+
+  static core::EugeneService* service_;
+  static data::Dataset* train_;
+  static data::Dataset* calib_;
+  static data::Dataset* test_;
+  static std::size_t handle_;
+  static core::CalibrationReport report_;
+};
+
+core::EugeneService* ServiceIntegration::service_ = nullptr;
+data::Dataset* ServiceIntegration::train_ = nullptr;
+data::Dataset* ServiceIntegration::calib_ = nullptr;
+data::Dataset* ServiceIntegration::test_ = nullptr;
+std::size_t ServiceIntegration::handle_ = 0;
+core::CalibrationReport ServiceIntegration::report_;
+
+TEST_F(ServiceIntegration, CalibrationProducesLowEce) {
+  ASSERT_EQ(report_.stage_ece.size(), 3u);
+  for (double ece : report_.stage_ece) EXPECT_LT(ece, 0.2);
+  EXPECT_TRUE(service_->registry().entry(handle_).calibrated);
+}
+
+TEST_F(ServiceIntegration, ProfileMeasuresIncreasingStageCosts) {
+  const core::StageProfile profile = service_->profile(handle_, {2, 8, 8});
+  ASSERT_EQ(profile.stage_ms.size(), 3u);
+  for (double ms : profile.stage_ms) EXPECT_GT(ms, 0.0);
+  for (double flops : profile.stage_flops) EXPECT_GT(flops, 0.0);
+  // The profile is installed as the registry's cost model.
+  EXPECT_EQ(service_->registry().entry(handle_).costs.stage_ms, profile.stage_ms);
+}
+
+TEST_F(ServiceIntegration, SingleInferenceReturnsSaneResult) {
+  const auto response = service_->infer(handle_, test_->samples[0]);
+  EXPECT_LT(response.label, 4u);
+  EXPECT_GT(response.confidence, 0.0);
+  EXPECT_GE(response.stages_run, 1u);
+  EXPECT_LE(response.stages_run, 3u);
+  EXPECT_FALSE(response.expired);
+}
+
+TEST_F(ServiceIntegration, BatchInferenceIsReasonablyAccurate) {
+  std::vector<serving::InferenceRequest> requests;
+  for (std::size_t i = 0; i < test_->size(); ++i)
+    requests.push_back({test_->samples[i], 0});
+  serving::ServerConfig cfg;
+  cfg.early_exit_confidence = 0.9;
+  const auto responses = service_->infer_batch(handle_, requests, cfg);
+  ASSERT_EQ(responses.size(), test_->size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    if (responses[i].label == test_->labels[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(responses.size()), 0.5);
+}
+
+TEST_F(ServiceIntegration, EarlyExitSavesStages) {
+  std::vector<serving::InferenceRequest> requests;
+  for (std::size_t i = 0; i < 30; ++i) requests.push_back({test_->samples[i % test_->size()], 0});
+
+  serving::ServerConfig eager;
+  eager.early_exit_confidence = 0.5;
+  serving::ServerConfig full;
+  full.early_exit_confidence = 2.0;  // disabled
+
+  std::size_t eager_stages = 0, full_stages = 0;
+  for (const auto& r : service_->infer_batch(handle_, requests, eager))
+    eager_stages += r.stages_run;
+  for (const auto& r : service_->infer_batch(handle_, requests, full))
+    full_stages += r.stages_run;
+  EXPECT_EQ(full_stages, 3u * requests.size());
+  EXPECT_LT(eager_stages, full_stages);
+}
+
+TEST_F(ServiceIntegration, ServiceClassDeadlineExpiresRequests) {
+  std::vector<serving::InferenceRequest> requests;
+  for (std::size_t i = 0; i < 10; ++i) requests.push_back({test_->samples[i], 0});
+  serving::ServerConfig cfg;
+  cfg.classes = {{"impossible", 0.0, 1.0}};  // deadline already passed
+  cfg.early_exit_confidence = 2.0;
+  const auto responses = service_->infer_batch(handle_, requests, cfg);
+  for (const auto& r : responses) {
+    EXPECT_TRUE(r.expired);
+    EXPECT_EQ(r.stages_run, 0u);
+  }
+}
+
+TEST_F(ServiceIntegration, ServiceClassesValidated) {
+  std::vector<serving::InferenceRequest> requests = {{test_->samples[0], 3}};
+  serving::ServerConfig cfg;  // only class 0 exists
+  EXPECT_THROW(service_->infer_batch(handle_, requests, cfg), InvalidArgument);
+}
+
+TEST_F(ServiceIntegration, LabelingFacadeDelegates) {
+  Rng rng(31);
+  const data::Dataset labeled = data::generate_images(data_config(), 50, rng);
+  const data::Dataset unlabeled = data::generate_images(data_config(), 100, rng);
+  labeling::SelfTrainingConfig cfg;
+  cfg.rounds = 2;
+  cfg.training.epochs = 5;
+  labeling::LabelingReport report;
+  const data::Dataset augmented = service_->label(
+      labeled, unlabeled,
+      [](std::uint64_t variant) {
+        Rng r(variant);
+        nn::Sequential net;
+        net.add(std::make_unique<nn::Flatten>())
+            .add(std::make_unique<nn::Dense>(2 * 8 * 8, 16, r))
+            .add(std::make_unique<nn::ReLU>())
+            .add(std::make_unique<nn::Dense>(16, 4, r));
+        return net;
+      },
+      cfg, &report);
+  EXPECT_GE(augmented.size(), labeled.size());
+  EXPECT_EQ(augmented.size(), labeled.size() + report.adopted_total);
+}
+
+TEST_F(ServiceIntegration, DeviceCacheFacadeBuildsWorkingCache) {
+  reduce::CacheBuildConfig cfg;
+  cfg.architecture.in_channels = 2;
+  cfg.architecture.height = 8;
+  cfg.architecture.width = 8;
+  cfg.architecture.conv_channels = {6, 6};
+  cfg.training.epochs = 5;
+  const reduce::CacheModel cache = service_->build_device_cache(*train_, {0, 2}, cfg);
+  EXPECT_EQ(cache.frequent_classes, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(cache.other_label, 2u);
+}
+
+}  // namespace
+}  // namespace eugene

@@ -1,0 +1,253 @@
+// Unit tests for the tensor substrate: shapes, kernels, and linear algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eugene::tensor {
+namespace {
+
+TEST(TensorShape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  Tensor t({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, DataAdoption) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0), InvalidArgument);  // rank mismatch
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a += b;
+  EXPECT_EQ(a.at(2), 9.0f);
+  a -= b;
+  EXPECT_EQ(a.at(0), 1.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a.at(1), 4.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng r1(7), r2(7);
+  const Tensor a = Tensor::randn({8}, r1);
+  const Tensor b = Tensor::randn({8}, r2);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Matmul, MatchesHandComputation) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor c = matmul(a, b);
+
+  // Aᵀ variant: pass A already transposed.
+  Tensor at({5, 4});
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  const Tensor c1 = matmul_transpose_a(at, b);
+
+  // Bᵀ variant: pass B already transposed.
+  Tensor bt({6, 5});
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j) bt.at(j, i) = b.at(i, j);
+  const Tensor c2 = matmul_transpose_b(a, bt);
+
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(c1.at(i, j), c.at(i, j), 1e-4);
+      EXPECT_NEAR(c2.at(i, j), c.at(i, j), 1e-4);
+    }
+}
+
+Conv2dGeometry small_geometry() {
+  Conv2dGeometry g;
+  g.in_channels = 3;
+  g.out_channels = 4;
+  g.in_height = 6;
+  g.in_width = 5;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  return g;
+}
+
+TEST(Conv2d, GeometryOutputDims) {
+  const Conv2dGeometry g = small_geometry();
+  EXPECT_EQ(g.out_height(), 6u);
+  EXPECT_EQ(g.out_width(), 5u);
+
+  Conv2dGeometry strided = g;
+  strided.stride = 2;
+  EXPECT_EQ(strided.out_height(), 3u);
+  EXPECT_EQ(strided.out_width(), 3u);
+}
+
+TEST(Conv2d, FlopsMatchesClosedForm) {
+  const Conv2dGeometry g = small_geometry();
+  // 2 · C_out · H_out · W_out · C_in · k²
+  EXPECT_DOUBLE_EQ(g.flops(), 2.0 * 4 * 6 * 5 * 3 * 9);
+}
+
+TEST(Conv2d, Im2colMatchesDirectConvolution) {
+  Rng rng(11);
+  const Conv2dGeometry g = small_geometry();
+  const Tensor img = Tensor::randn({3, 6, 5}, rng);
+  const Tensor w = Tensor::randn({4, 27}, rng);
+  const Tensor b = Tensor::randn({4}, rng);
+  const Tensor fast = conv2d(img, w, b, g);
+  const Tensor slow = conv2d_direct(img, w, b, g);
+  ASSERT_TRUE(fast.same_shape(slow));
+  for (std::size_t i = 0; i < fast.numel(); ++i)
+    EXPECT_NEAR(fast.data()[i], slow.data()[i], 1e-4);
+}
+
+TEST(Conv2d, StridedConvolutionMatchesDirect) {
+  Rng rng(13);
+  Conv2dGeometry g = small_geometry();
+  g.stride = 2;
+  g.padding = 0;
+  const Tensor img = Tensor::randn({3, 6, 5}, rng);
+  const Tensor w = Tensor::randn({4, 27}, rng);
+  const Tensor b = Tensor::randn({4}, rng);
+  const Tensor fast = conv2d(img, w, b, g);
+  const Tensor slow = conv2d_direct(img, w, b, g);
+  for (std::size_t i = 0; i < fast.numel(); ++i)
+    EXPECT_NEAR(fast.data()[i], slow.data()[i], 1e-4);
+}
+
+TEST(Conv2d, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+  // the conv backward pass relies on.
+  Rng rng(17);
+  const Conv2dGeometry g = small_geometry();
+  const Tensor x = Tensor::randn({3, 6, 5}, rng);
+  const Tensor cols = im2col(x, g);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor back = col2im(y, g);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) lhs += cols.data()[i] * y.data()[i];
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += x.data()[i] * back.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Pooling, MaxPool2PicksMaxima) {
+  Tensor img({1, 2, 4}, std::vector<float>{1, 5, 2, 0, 3, 4, 8, 7});
+  const Tensor out = max_pool2(img);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_EQ(out.at(0, 0, 1), 8.0f);
+}
+
+TEST(Pooling, GlobalAvgPool) {
+  Tensor img({2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor out = global_avg_pool(img);
+  EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(1), 10.0f);
+}
+
+TEST(Linalg, CholeskyReconstructs) {
+  // A = B·Bᵀ + n·I is SPD.
+  Rng rng(23);
+  const std::size_t n = 6;
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < n; ++k) acc += b.at(i, k) * b.at(j, k);
+      a.at(i, j) = acc + (i == j ? static_cast<float>(n) : 0.0f);
+    }
+  const Tensor l = cholesky(a);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < n; ++k) acc += l.at(i, k) * l.at(j, k);
+      EXPECT_NEAR(acc, a.at(i, j), 1e-3);
+    }
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 2, 1});  // eigenvalues 3, −1
+  EXPECT_THROW(cholesky(a), InvalidArgument);
+}
+
+TEST(Linalg, SolveSpdRoundTrip) {
+  Tensor a({3, 3}, std::vector<float>{4, 1, 0, 1, 3, 1, 0, 1, 2});
+  const std::vector<double> x_true = {1.0, -2.0, 3.0};
+  std::vector<double> b(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) b[i] += a.at(i, j) * x_true[j];
+  const std::vector<double> x = solve_spd(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Linalg, LeastSquaresRecoversLine) {
+  // y = 2x + 1 with no noise.
+  const std::size_t n = 20;
+  Tensor x({n, 2});
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.at(i, 0) = 1.0f;
+    x.at(i, 1) = static_cast<float>(xi);
+    y[i] = 2.0 * xi + 1.0;
+  }
+  const std::vector<double> beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 1.0, 1e-4);
+  EXPECT_NEAR(beta[1], 2.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace eugene::tensor
