@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ece.dir/bench_table2_ece.cpp.o"
+  "CMakeFiles/bench_table2_ece.dir/bench_table2_ece.cpp.o.d"
+  "bench_table2_ece"
+  "bench_table2_ece.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ece.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

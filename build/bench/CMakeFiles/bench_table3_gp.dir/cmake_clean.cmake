@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gp.dir/bench_table3_gp.cpp.o"
+  "CMakeFiles/bench_table3_gp.dir/bench_table3_gp.cpp.o.d"
+  "bench_table3_gp"
+  "bench_table3_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

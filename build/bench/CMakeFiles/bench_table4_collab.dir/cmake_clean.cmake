@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_collab.dir/bench_table4_collab.cpp.o"
+  "CMakeFiles/bench_table4_collab.dir/bench_table4_collab.cpp.o.d"
+  "bench_table4_collab"
+  "bench_table4_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

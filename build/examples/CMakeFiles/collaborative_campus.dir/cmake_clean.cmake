@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_campus.dir/collaborative_campus.cpp.o"
+  "CMakeFiles/collaborative_campus.dir/collaborative_campus.cpp.o.d"
+  "collaborative_campus"
+  "collaborative_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_cache.dir/compression_cache.cpp.o"
+  "CMakeFiles/compression_cache.dir/compression_cache.cpp.o.d"
+  "compression_cache"
+  "compression_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

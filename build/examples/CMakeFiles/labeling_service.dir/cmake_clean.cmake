@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeling_service.dir/labeling_service.cpp.o"
+  "CMakeFiles/labeling_service.dir/labeling_service.cpp.o.d"
+  "labeling_service"
+  "labeling_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeling_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/smart_camera.cpp" "examples/CMakeFiles/smart_camera.dir/smart_camera.cpp.o" "gcc" "examples/CMakeFiles/smart_camera.dir/smart_camera.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eugene_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/eugene_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eugene_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/eugene_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/eugene_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/eugene_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/eugene_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/eugene_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/collab/CMakeFiles/eugene_collab.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eugene_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eugene_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eugene_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eugene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("calib")
+subdirs("gp")
+subdirs("sched")
+subdirs("profile")
+subdirs("reduce")
+subdirs("serving")
+subdirs("collab")
+subdirs("labeling")
+subdirs("core")

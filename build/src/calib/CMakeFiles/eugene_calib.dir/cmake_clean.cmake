@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_calib.dir/calibrators.cpp.o"
+  "CMakeFiles/eugene_calib.dir/calibrators.cpp.o.d"
+  "CMakeFiles/eugene_calib.dir/ece.cpp.o"
+  "CMakeFiles/eugene_calib.dir/ece.cpp.o.d"
+  "CMakeFiles/eugene_calib.dir/evaluation.cpp.o"
+  "CMakeFiles/eugene_calib.dir/evaluation.cpp.o.d"
+  "libeugene_calib.a"
+  "libeugene_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collab/camera.cpp" "src/collab/CMakeFiles/eugene_collab.dir/camera.cpp.o" "gcc" "src/collab/CMakeFiles/eugene_collab.dir/camera.cpp.o.d"
+  "/root/repo/src/collab/experiment.cpp" "src/collab/CMakeFiles/eugene_collab.dir/experiment.cpp.o" "gcc" "src/collab/CMakeFiles/eugene_collab.dir/experiment.cpp.o.d"
+  "/root/repo/src/collab/fusion.cpp" "src/collab/CMakeFiles/eugene_collab.dir/fusion.cpp.o" "gcc" "src/collab/CMakeFiles/eugene_collab.dir/fusion.cpp.o.d"
+  "/root/repo/src/collab/world.cpp" "src/collab/CMakeFiles/eugene_collab.dir/world.cpp.o" "gcc" "src/collab/CMakeFiles/eugene_collab.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eugene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_collab.dir/camera.cpp.o"
+  "CMakeFiles/eugene_collab.dir/camera.cpp.o.d"
+  "CMakeFiles/eugene_collab.dir/experiment.cpp.o"
+  "CMakeFiles/eugene_collab.dir/experiment.cpp.o.d"
+  "CMakeFiles/eugene_collab.dir/fusion.cpp.o"
+  "CMakeFiles/eugene_collab.dir/fusion.cpp.o.d"
+  "CMakeFiles/eugene_collab.dir/world.cpp.o"
+  "CMakeFiles/eugene_collab.dir/world.cpp.o.d"
+  "libeugene_collab.a"
+  "libeugene_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

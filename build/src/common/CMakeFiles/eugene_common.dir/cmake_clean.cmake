@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_common.dir/fifo_channel.cpp.o"
+  "CMakeFiles/eugene_common.dir/fifo_channel.cpp.o.d"
+  "CMakeFiles/eugene_common.dir/logging.cpp.o"
+  "CMakeFiles/eugene_common.dir/logging.cpp.o.d"
+  "CMakeFiles/eugene_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/eugene_common.dir/thread_pool.cpp.o.d"
+  "libeugene_common.a"
+  "libeugene_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

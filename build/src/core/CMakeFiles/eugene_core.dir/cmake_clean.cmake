@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_core.dir/eugene_service.cpp.o"
+  "CMakeFiles/eugene_core.dir/eugene_service.cpp.o.d"
+  "libeugene_core.a"
+  "libeugene_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_data.dir/synthetic_images.cpp.o"
+  "CMakeFiles/eugene_data.dir/synthetic_images.cpp.o.d"
+  "CMakeFiles/eugene_data.dir/timeseries.cpp.o"
+  "CMakeFiles/eugene_data.dir/timeseries.cpp.o.d"
+  "libeugene_data.a"
+  "libeugene_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

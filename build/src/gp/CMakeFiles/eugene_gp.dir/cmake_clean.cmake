@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_gp.dir/confidence_curve.cpp.o"
+  "CMakeFiles/eugene_gp.dir/confidence_curve.cpp.o.d"
+  "CMakeFiles/eugene_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/eugene_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/eugene_gp.dir/piecewise_linear.cpp.o"
+  "CMakeFiles/eugene_gp.dir/piecewise_linear.cpp.o.d"
+  "libeugene_gp.a"
+  "libeugene_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

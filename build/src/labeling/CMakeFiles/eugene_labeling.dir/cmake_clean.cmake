@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_labeling.dir/pool_guard.cpp.o"
+  "CMakeFiles/eugene_labeling.dir/pool_guard.cpp.o.d"
+  "CMakeFiles/eugene_labeling.dir/self_training.cpp.o"
+  "CMakeFiles/eugene_labeling.dir/self_training.cpp.o.d"
+  "libeugene_labeling.a"
+  "libeugene_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_nn.dir/layers.cpp.o"
+  "CMakeFiles/eugene_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/loss.cpp.o"
+  "CMakeFiles/eugene_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/eugene_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/residual.cpp.o"
+  "CMakeFiles/eugene_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/serialize.cpp.o"
+  "CMakeFiles/eugene_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/staged_model.cpp.o"
+  "CMakeFiles/eugene_nn.dir/staged_model.cpp.o.d"
+  "CMakeFiles/eugene_nn.dir/train.cpp.o"
+  "CMakeFiles/eugene_nn.dir/train.cpp.o.d"
+  "libeugene_nn.a"
+  "libeugene_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

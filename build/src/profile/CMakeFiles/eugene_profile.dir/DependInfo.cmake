@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/cost_model.cpp" "src/profile/CMakeFiles/eugene_profile.dir/cost_model.cpp.o" "gcc" "src/profile/CMakeFiles/eugene_profile.dir/cost_model.cpp.o.d"
+  "/root/repo/src/profile/linear_region.cpp" "src/profile/CMakeFiles/eugene_profile.dir/linear_region.cpp.o" "gcc" "src/profile/CMakeFiles/eugene_profile.dir/linear_region.cpp.o.d"
+  "/root/repo/src/profile/timing.cpp" "src/profile/CMakeFiles/eugene_profile.dir/timing.cpp.o" "gcc" "src/profile/CMakeFiles/eugene_profile.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eugene_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eugene_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eugene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_profile.dir/cost_model.cpp.o"
+  "CMakeFiles/eugene_profile.dir/cost_model.cpp.o.d"
+  "CMakeFiles/eugene_profile.dir/linear_region.cpp.o"
+  "CMakeFiles/eugene_profile.dir/linear_region.cpp.o.d"
+  "CMakeFiles/eugene_profile.dir/timing.cpp.o"
+  "CMakeFiles/eugene_profile.dir/timing.cpp.o.d"
+  "libeugene_profile.a"
+  "libeugene_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeugene_profile.a"
+)

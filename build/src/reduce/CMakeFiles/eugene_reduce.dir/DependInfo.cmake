@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduce/cache.cpp" "src/reduce/CMakeFiles/eugene_reduce.dir/cache.cpp.o" "gcc" "src/reduce/CMakeFiles/eugene_reduce.dir/cache.cpp.o.d"
+  "/root/repo/src/reduce/pruning.cpp" "src/reduce/CMakeFiles/eugene_reduce.dir/pruning.cpp.o" "gcc" "src/reduce/CMakeFiles/eugene_reduce.dir/pruning.cpp.o.d"
+  "/root/repo/src/reduce/simple_cnn.cpp" "src/reduce/CMakeFiles/eugene_reduce.dir/simple_cnn.cpp.o" "gcc" "src/reduce/CMakeFiles/eugene_reduce.dir/simple_cnn.cpp.o.d"
+  "/root/repo/src/reduce/sparse.cpp" "src/reduce/CMakeFiles/eugene_reduce.dir/sparse.cpp.o" "gcc" "src/reduce/CMakeFiles/eugene_reduce.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eugene_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eugene_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eugene_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eugene_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

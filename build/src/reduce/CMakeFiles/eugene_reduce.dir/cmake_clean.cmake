@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_reduce.dir/cache.cpp.o"
+  "CMakeFiles/eugene_reduce.dir/cache.cpp.o.d"
+  "CMakeFiles/eugene_reduce.dir/pruning.cpp.o"
+  "CMakeFiles/eugene_reduce.dir/pruning.cpp.o.d"
+  "CMakeFiles/eugene_reduce.dir/simple_cnn.cpp.o"
+  "CMakeFiles/eugene_reduce.dir/simple_cnn.cpp.o.d"
+  "CMakeFiles/eugene_reduce.dir/sparse.cpp.o"
+  "CMakeFiles/eugene_reduce.dir/sparse.cpp.o.d"
+  "libeugene_reduce.a"
+  "libeugene_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/live.cpp" "src/sched/CMakeFiles/eugene_sched.dir/live.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/live.cpp.o.d"
+  "/root/repo/src/sched/partition.cpp" "src/sched/CMakeFiles/eugene_sched.dir/partition.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/partition.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/eugene_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/sched/CMakeFiles/eugene_sched.dir/simulator.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/simulator.cpp.o.d"
+  "/root/repo/src/sched/utility.cpp" "src/sched/CMakeFiles/eugene_sched.dir/utility.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/utility.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/eugene_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/eugene_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/eugene_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/eugene_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eugene_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eugene_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eugene_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eugene_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

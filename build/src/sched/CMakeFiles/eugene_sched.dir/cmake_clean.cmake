@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_sched.dir/live.cpp.o"
+  "CMakeFiles/eugene_sched.dir/live.cpp.o.d"
+  "CMakeFiles/eugene_sched.dir/partition.cpp.o"
+  "CMakeFiles/eugene_sched.dir/partition.cpp.o.d"
+  "CMakeFiles/eugene_sched.dir/policy.cpp.o"
+  "CMakeFiles/eugene_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/eugene_sched.dir/simulator.cpp.o"
+  "CMakeFiles/eugene_sched.dir/simulator.cpp.o.d"
+  "CMakeFiles/eugene_sched.dir/utility.cpp.o"
+  "CMakeFiles/eugene_sched.dir/utility.cpp.o.d"
+  "CMakeFiles/eugene_sched.dir/workload.cpp.o"
+  "CMakeFiles/eugene_sched.dir/workload.cpp.o.d"
+  "libeugene_sched.a"
+  "libeugene_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

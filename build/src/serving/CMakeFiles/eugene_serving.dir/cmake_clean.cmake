@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_serving.dir/registry.cpp.o"
+  "CMakeFiles/eugene_serving.dir/registry.cpp.o.d"
+  "CMakeFiles/eugene_serving.dir/server.cpp.o"
+  "CMakeFiles/eugene_serving.dir/server.cpp.o.d"
+  "CMakeFiles/eugene_serving.dir/usage.cpp.o"
+  "CMakeFiles/eugene_serving.dir/usage.cpp.o.d"
+  "libeugene_serving.a"
+  "libeugene_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

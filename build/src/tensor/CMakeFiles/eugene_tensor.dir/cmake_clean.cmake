@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eugene_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/eugene_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/eugene_tensor.dir/ops.cpp.o"
+  "CMakeFiles/eugene_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/eugene_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/eugene_tensor.dir/tensor.cpp.o.d"
+  "libeugene_tensor.a"
+  "libeugene_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eugene_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
