@@ -75,8 +75,9 @@ int main() {
   serving::PricingPolicy pricing{/*per_compute_ms=*/0.02, /*per_request=*/0.05};
   std::printf("\nbilling report (%.2f credits/ms + %.2f credits/request):\n",
               pricing.per_compute_ms, pricing.per_request);
-  for (std::size_t cls = 0; cls < meter.usage().size(); ++cls) {
-    const serving::ClassUsage& u = meter.usage()[cls];
+  const std::vector<serving::ClassUsage> usage = meter.usage();
+  for (std::size_t cls = 0; cls < usage.size(); ++cls) {
+    const serving::ClassUsage& u = usage[cls];
     std::printf("  %-8s: %5.1f compute-ms over %zu stage runs -> %.2f credits\n",
                 u.class_name.c_str(), u.compute_ms, u.stages_executed,
                 meter.charge(cls, pricing));

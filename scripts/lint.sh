@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Repo lint: format check + clang-tidy + grep-based ban list.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir  a configured build tree with compile_commands.json
+#              (default: build; only needed for the clang-tidy step)
+#
+# clang-format and clang-tidy steps are skipped with a warning when the tools
+# are not installed (the grep ban list always runs), so the script is useful
+# both in CI (full toolchain) and in minimal containers.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+cd "$repo_root"
+
+failures=0
+
+note() { printf '== %s\n' "$*"; }
+fail() {
+  printf 'LINT FAIL: %s\n' "$*" >&2
+  failures=$((failures + 1))
+}
+
+cxx_sources() {
+  find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort
+}
+
+# ---------------------------------------------------------------------------
+note "format check (.clang-format)"
+if command -v clang-format > /dev/null 2>&1; then
+  unformatted=$(cxx_sources | xargs clang-format --dry-run -Werror 2>&1 | head -40)
+  if [ -n "$unformatted" ]; then
+    printf '%s\n' "$unformatted"
+    fail "clang-format found unformatted files (run: clang-format -i \$(git ls-files '*.cpp' '*.hpp'))"
+  fi
+else
+  note "clang-format not installed; skipping format check"
+fi
+
+# ---------------------------------------------------------------------------
+note "clang-tidy (.clang-tidy)"
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [ -f "$build_dir/compile_commands.json" ]; then
+    if ! find src -name '*.cpp' | sort | xargs clang-tidy -p "$build_dir" --quiet; then
+      fail "clang-tidy reported findings on src/"
+    fi
+  else
+    fail "no compile_commands.json in $build_dir (configure with cmake first)"
+  fi
+else
+  note "clang-tidy not installed; skipping static analysis"
+fi
+
+# ---------------------------------------------------------------------------
+note "grep ban list"
+
+# Headers must not pollute every includer's namespace.
+if grep -rn --include='*.hpp' 'using namespace std' src; then
+  fail "'using namespace std' in a header"
+fi
+
+# Ownership goes through containers and smart pointers, never naked new.
+if grep -rnE --include='*.cpp' --include='*.hpp' '(^|[^_[:alnum:]"])new +[[:alnum:]_:<]' src \
+  | grep -vE ':[0-9]+:[[:space:]]*(//|\*|/\*)' \
+  | grep -v 'make_unique\|make_shared\|// *NOLINT-new'; then
+  fail "naked 'new' in src/ (use std::make_unique; annotate intentional uses with // NOLINT-new)"
+fi
+
+# The library logs through EUGENE_LOG; stdout belongs to examples and benches.
+if grep -rn --include='*.cpp' --include='*.hpp' 'std::cout' src; then
+  fail "std::cout in src/ (use EUGENE_LOG from common/logging.hpp)"
+fi
+
+# Raw std::mutex in src/ bypasses the annotated wrapper the thread-safety
+# analysis depends on (common/thread_annotations.hpp is the one place a raw
+# std::mutex may live).
+if grep -rn --include='*.cpp' --include='*.hpp' 'std::mutex\|std::lock_guard\|std::unique_lock' src \
+  | grep -v 'common/thread_annotations.hpp'; then
+  fail "raw std::mutex/lock in src/ (use eugene::Mutex + MutexLock so -Wthread-safety sees it)"
+fi
+
+# ---------------------------------------------------------------------------
+if [ "$failures" -gt 0 ]; then
+  printf '\nlint: %d failure(s)\n' "$failures" >&2
+  exit 1
+fi
+printf '\nlint: OK\n'

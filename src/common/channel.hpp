@@ -7,10 +7,10 @@
 // implementation that mirrors the paper's transport byte-for-byte.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/thread_annotations.hpp"
 
 namespace eugene {
 
@@ -21,9 +21,9 @@ template <typename T>
 class Channel {
  public:
   /// Enqueues a value. Returns false if the channel is closed.
-  bool send(T value) {
+  bool send(T value) EUGENE_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(value));
     }
@@ -32,9 +32,11 @@ class Channel {
   }
 
   /// Blocks until an item is available or the channel is closed and drained.
-  std::optional<T> receive() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> receive() EUGENE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    cv_.wait(mutex_, [this]() EUGENE_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -42,8 +44,8 @@ class Channel {
   }
 
   /// Non-blocking receive; std::nullopt when nothing is pending.
-  std::optional<T> try_receive() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> try_receive() EUGENE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -51,29 +53,29 @@ class Channel {
   }
 
   /// Marks the channel closed and wakes all blocked receivers.
-  void close() {
+  void close() EUGENE_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EUGENE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pending() const EUGENE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ EUGENE_GUARDED_BY(mutex_);
+  bool closed_ EUGENE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eugene

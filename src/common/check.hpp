@@ -1,0 +1,123 @@
+// Runtime contract checks with message streaming.
+//
+//   EUGENE_CHECK(ptr != nullptr) << "stage " << s << " has no head";
+//   EUGENE_CHECK_LT(index, size()) << "task id from the wire is bogus";
+//   EUGENE_DCHECK_GE(confidence, 0.0);   // debug builds only
+//
+// EUGENE_CHECK* always run and throw eugene::InternalError on failure, with
+// file:line, the stringified expression, the operand values (for the
+// comparison forms), and whatever was streamed after the macro. They guard
+// invariants whose violation means a bug inside Eugene — as opposed to
+// EUGENE_REQUIRE (common/error.hpp), which validates caller-supplied input
+// and throws eugene::InvalidArgument.
+//
+// EUGENE_DCHECK* compile to nothing when NDEBUG is defined (the operands are
+// type-checked but never evaluated), so they are free in release builds and
+// safe to put on hot paths.
+//
+// Caveat: the comparison forms evaluate their operands a second time on the
+// *failure* path to render the values; don't put side effects in operands.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace eugene::detail {
+
+/// Renders "(lhs vs. rhs)" for a failed comparison check.
+template <typename A, typename B>
+std::string check_op_values(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ")";
+  return os.str();
+}
+
+/// Accumulates the streamed message of a failing check and throws
+/// eugene::InternalError from its destructor (at the end of the full
+/// statement, once the whole message has been streamed). Only ever
+/// constructed on a failure path.
+class CheckFailMessage {
+ public:
+  CheckFailMessage(const char* file, int line, const char* expr,
+                   std::string values)
+      : file_(file), line_(line), expr_(expr), values_(std::move(values)) {}
+
+  CheckFailMessage(const CheckFailMessage&) = delete;
+  CheckFailMessage& operator=(const CheckFailMessage&) = delete;
+
+  // NOLINTNEXTLINE(bugprone-exception-escape): throwing is this type's job.
+  [[noreturn]] ~CheckFailMessage() noexcept(false) {
+    std::string msg = values_;
+    const std::string streamed = stream_.str();
+    if (!streamed.empty()) {
+      if (!msg.empty()) msg += ' ';
+      msg += streamed;
+    }
+    raise<InternalError>(file_, line_, expr_, msg);
+  }
+
+  template <typename T>
+  CheckFailMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::string values_;
+  std::ostringstream stream_;
+};
+
+}  // namespace eugene::detail
+
+// The `if (ok) {} else stream` shape makes the streamed message lazy (nothing
+// is formatted unless the check fails) and keeps the macro usable as a plain
+// statement; the internal else also prevents dangling-else surprises.
+#define EUGENE_CHECK(cond)                                            \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::eugene::detail::CheckFailMessage(__FILE__, __LINE__, #cond, {})
+
+#define EUGENE_INTERNAL_CHECK_OP(a, b, op)                            \
+  if ((a)op(b)) {                                                     \
+  } else                                                              \
+    ::eugene::detail::CheckFailMessage(                               \
+        __FILE__, __LINE__, #a " " #op " " #b,                        \
+        ::eugene::detail::check_op_values((a), (b)))
+
+#define EUGENE_CHECK_EQ(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, ==)
+#define EUGENE_CHECK_NE(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, !=)
+#define EUGENE_CHECK_LT(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, <)
+#define EUGENE_CHECK_LE(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, <=)
+#define EUGENE_CHECK_GT(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, >)
+#define EUGENE_CHECK_GE(a, b) EUGENE_INTERNAL_CHECK_OP(a, b, >=)
+
+// Debug-only variants. The disabled form keeps the operands and the streamed
+// message fully type-checked but guarantees zero evaluation at runtime (the
+// `true ||` short-circuits before touching them).
+#ifdef NDEBUG
+#define EUGENE_INTERNAL_DCHECK(cond, expr)                            \
+  if (true || (cond)) {                                               \
+  } else                                                              \
+    ::eugene::detail::CheckFailMessage(__FILE__, __LINE__, expr, {})
+
+#define EUGENE_DCHECK(cond) EUGENE_INTERNAL_DCHECK(cond, #cond)
+#define EUGENE_DCHECK_EQ(a, b) EUGENE_INTERNAL_DCHECK((a) == (b), #a " == " #b)
+#define EUGENE_DCHECK_NE(a, b) EUGENE_INTERNAL_DCHECK((a) != (b), #a " != " #b)
+#define EUGENE_DCHECK_LT(a, b) EUGENE_INTERNAL_DCHECK((a) < (b), #a " < " #b)
+#define EUGENE_DCHECK_LE(a, b) EUGENE_INTERNAL_DCHECK((a) <= (b), #a " <= " #b)
+#define EUGENE_DCHECK_GT(a, b) EUGENE_INTERNAL_DCHECK((a) > (b), #a " > " #b)
+#define EUGENE_DCHECK_GE(a, b) EUGENE_INTERNAL_DCHECK((a) >= (b), #a " >= " #b)
+#else
+#define EUGENE_DCHECK(cond) EUGENE_CHECK(cond)
+#define EUGENE_DCHECK_EQ(a, b) EUGENE_CHECK_EQ(a, b)
+#define EUGENE_DCHECK_NE(a, b) EUGENE_CHECK_NE(a, b)
+#define EUGENE_DCHECK_LT(a, b) EUGENE_CHECK_LT(a, b)
+#define EUGENE_DCHECK_LE(a, b) EUGENE_CHECK_LE(a, b)
+#define EUGENE_DCHECK_GT(a, b) EUGENE_CHECK_GT(a, b)
+#define EUGENE_DCHECK_GE(a, b) EUGENE_CHECK_GE(a, b)
+#endif

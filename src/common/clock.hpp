@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace eugene {
@@ -55,7 +56,7 @@ class VirtualClock final : public Clock {
 
   /// Moves time forward; rewinding is a bug.
   void advance_to(double t_ms) {
-    EUGENE_CHECK(t_ms >= now_ms_, "VirtualClock cannot rewind");
+    EUGENE_CHECK_GE(t_ms, now_ms_) << "VirtualClock cannot rewind";
     now_ms_ = t_ms;
   }
 

@@ -45,17 +45,10 @@ template <typename E>
 }  // namespace eugene
 
 /// Validate a caller-supplied precondition; throws eugene::InvalidArgument.
+/// Internal invariants use EUGENE_CHECK / EUGENE_DCHECK from common/check.hpp.
 #define EUGENE_REQUIRE(cond, msg)                                              \
   do {                                                                         \
     if (!(cond))                                                               \
       ::eugene::detail::raise<::eugene::InvalidArgument>(__FILE__, __LINE__,   \
                                                          #cond, (msg));        \
-  } while (false)
-
-/// Validate an internal invariant; throws eugene::InternalError.
-#define EUGENE_CHECK(cond, msg)                                                \
-  do {                                                                         \
-    if (!(cond))                                                               \
-      ::eugene::detail::raise<::eugene::InternalError>(__FILE__, __LINE__,     \
-                                                       #cond, (msg));          \
   } while (false)

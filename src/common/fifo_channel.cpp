@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace eugene {
@@ -49,6 +50,9 @@ bool FifoWriter::write_frame(const std::vector<std::uint8_t>& payload) {
   put_u32(frame, static_cast<std::uint32_t>(payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
 
+  // Hold the lock across the whole frame: pipe writes beyond PIPE_BUF are not
+  // atomic, so concurrent writers would interleave bytes mid-frame.
+  MutexLock lock(io_mutex_);
   std::size_t written = 0;
   while (written < frame.size()) {
     const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
@@ -86,7 +90,7 @@ bool FifoReader::read_exact(std::uint8_t* buf, std::size_t n) {
     if (r == 0) return false;  // EOF: all writers closed
     if (r < 0) {
       if (errno == EINTR) continue;
-      EUGENE_CHECK(false, std::string("FifoReader read error: ") + std::strerror(errno));
+      EUGENE_CHECK(r >= 0) << "FifoReader read error: " << std::strerror(errno);
     }
     got += static_cast<std::size_t>(r);
   }
@@ -94,6 +98,7 @@ bool FifoReader::read_exact(std::uint8_t* buf, std::size_t n) {
 }
 
 std::optional<std::vector<std::uint8_t>> FifoReader::read_frame() {
+  MutexLock lock(io_mutex_);
   std::uint8_t header[4];
   if (!read_exact(header, 4)) return std::nullopt;
   const std::uint32_t len = get_u32(header);

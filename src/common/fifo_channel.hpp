@@ -11,9 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace eugene {
 
 /// Writer end of a named pipe carrying length-prefixed frames.
+/// Thread-safe: concurrent write_frame() calls are serialized so frames
+/// larger than PIPE_BUF never interleave on the pipe.
 class FifoWriter {
  public:
   /// Opens the FIFO at `path` for writing (blocks until a reader exists).
@@ -25,13 +29,17 @@ class FifoWriter {
 
   /// Writes one frame: 4-byte little-endian length then payload.
   /// Returns false if the pipe broke (reader gone).
-  bool write_frame(const std::vector<std::uint8_t>& payload);
+  bool write_frame(const std::vector<std::uint8_t>& payload)
+      EUGENE_EXCLUDES(io_mutex_);
 
  private:
-  int fd_ = -1;
+  Mutex io_mutex_;               ///< serializes whole frames onto the pipe
+  int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
 };
 
 /// Reader end of a named pipe carrying length-prefixed frames.
+/// Thread-safe: concurrent read_frame() calls are serialized so each consumer
+/// sees whole frames.
 class FifoReader {
  public:
   /// Creates the FIFO at `path` if needed and opens it for reading.
@@ -42,16 +50,18 @@ class FifoReader {
   FifoReader& operator=(const FifoReader&) = delete;
 
   /// Blocks for the next frame; std::nullopt on EOF (all writers closed).
-  std::optional<std::vector<std::uint8_t>> read_frame();
+  std::optional<std::vector<std::uint8_t>> read_frame()
+      EUGENE_EXCLUDES(io_mutex_);
 
   const std::string& path() const { return path_; }
 
  private:
   /// Reads exactly n bytes; false on EOF.
-  bool read_exact(std::uint8_t* buf, std::size_t n);
+  bool read_exact(std::uint8_t* buf, std::size_t n) EUGENE_REQUIRES(io_mutex_);
 
   std::string path_;
-  int fd_ = -1;
+  Mutex io_mutex_;               ///< serializes whole frames off the pipe
+  int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
   bool created_ = false;
 };
 

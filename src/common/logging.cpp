@@ -5,11 +5,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/thread_annotations.hpp"
+
 namespace eugene {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_emit_mutex;
+
+// Serializes whole lines onto stderr so concurrent loggers never interleave.
+Mutex g_emit_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -40,7 +44,7 @@ LogLine::LogLine(LogLevel level, std::string_view file, int line)
 
 LogLine::~LogLine() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::cerr << stream_.str() << '\n';
 }
 

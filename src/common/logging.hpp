@@ -5,7 +5,6 @@
 // raise it to Info.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string_view>
 

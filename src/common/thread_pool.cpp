@@ -13,19 +13,26 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
+std::size_t ThreadPool::pending() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() EUGENE_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;

@@ -2,18 +2,19 @@
 // by batch evaluation helpers.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace eugene {
 
 /// A minimal thread pool: submit() enqueues a callable, workers drain the
-/// queue FIFO. Destruction waits for queued work to finish.
+/// queue FIFO. Destruction waits for queued work to finish; work submitted
+/// from inside a running task during shutdown is still executed.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -24,12 +25,13 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a future for its result.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+      EUGENE_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -38,14 +40,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Number of jobs waiting (not yet picked up by a worker).
+  std::size_t pending() const EUGENE_EXCLUDES(mutex_);
+
  private:
-  void worker_loop();
+  void worker_loop() EUGENE_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ EUGENE_GUARDED_BY(mutex_);
+  bool stopping_ EUGENE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eugene

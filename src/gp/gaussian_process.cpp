@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "tensor/linalg.hpp"
 
@@ -80,8 +81,8 @@ void GaussianProcess1D::fit(std::span<const double> x, std::span<const double> y
       alpha_ = alpha;
     }
   }
-  EUGENE_CHECK(best_lml > -std::numeric_limits<double>::infinity(),
-               "GP fit: no length scale produced a positive-definite kernel");
+  EUGENE_CHECK(best_lml > -std::numeric_limits<double>::infinity())
+      << "GP fit: no length scale produced a positive-definite kernel";
   log_marginal_likelihood_ = best_lml;
 }
 

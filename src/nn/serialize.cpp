@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace eugene::nn {
@@ -35,7 +36,7 @@ void save_params(const std::vector<ParamRef>& params, std::ostream& out) {
     out.write(reinterpret_cast<const char*>(p.value->raw()),
               static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
   }
-  EUGENE_CHECK(out.good(), "save_params: stream write failed");
+  EUGENE_CHECK(out.good()) << "save_params: stream write failed";
 }
 
 void load_params(const std::vector<ParamRef>& params, std::istream& in) {

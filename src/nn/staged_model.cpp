@@ -1,5 +1,6 @@
 #include "nn/staged_model.hpp"
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 #include "nn/residual.hpp"
 
@@ -14,7 +15,7 @@ void StagedModel::add_stage(std::unique_ptr<Sequential> trunk,
 }
 
 StageOutput StagedModel::make_output(Tensor features, const Tensor& logits) const {
-  EUGENE_CHECK(logits.numel() == num_classes_, "head produced wrong logit count");
+  EUGENE_CHECK_EQ(logits.numel(), num_classes_) << "head produced wrong logit count";
   StageOutput out;
   out.probs = softmax(logits.data());
   out.predicted_label = argmax(out.probs);

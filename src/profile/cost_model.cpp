@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
 #include "tensor/linalg.hpp"
 
 namespace eugene::profile {
@@ -63,8 +64,8 @@ MobileConvCostModel MobileConvCostModel::fit(
       best = candidate;
     }
   }
-  EUGENE_CHECK(std::isfinite(best_sse),
-               "MobileConvCostModel::fit: no physical fit found");
+  EUGENE_CHECK(std::isfinite(best_sse))
+      << "MobileConvCostModel::fit: no physical fit found";
   return best;
 }
 

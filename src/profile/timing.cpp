@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 
@@ -12,7 +13,7 @@ using tensor::Tensor;
 namespace {
 
 double median(std::vector<double> xs) {
-  EUGENE_CHECK(!xs.empty(), "median of empty vector");
+  EUGENE_CHECK(!xs.empty()) << "median of empty vector";
   std::sort(xs.begin(), xs.end());
   const std::size_t n = xs.size();
   return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);

@@ -1,5 +1,7 @@
 #include "reduce/simple_cnn.hpp"
 
+#include "common/check.hpp"
+
 namespace eugene::reduce {
 
 SimpleCnn::SimpleCnn(const SimpleCnnConfig& config) : config_(config) {
@@ -49,7 +51,7 @@ nn::ChannelNorm& SimpleCnn::norm(std::size_t i) {
 }
 
 nn::Dense& SimpleCnn::head() {
-  EUGENE_CHECK(head_ != nullptr, "SimpleCnn: head missing");
+  EUGENE_CHECK(head_ != nullptr) << "SimpleCnn: head missing";
   return *head_;
 }
 

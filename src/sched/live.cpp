@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/channel.hpp"
+#include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/fifo_channel.hpp"
 #include "common/logging.hpp"
@@ -171,9 +172,18 @@ std::vector<LiveTaskResult> run_live(
     if (unfinished == 0) break;
 
     auto res = results.receive();
-    EUGENE_CHECK(res.has_value(), "live scheduler: result channel closed early");
+    EUGENE_CHECK(res.has_value()) << "live scheduler: result channel closed early";
+    // The report crosses a (possibly named-pipe) channel boundary: validate it
+    // before indexing scheduler state with it.
+    EUGENE_CHECK_LT(res->worker, num_workers) << "stage report from unknown worker";
+    EUGENE_CHECK_LT(res->report.task_id, tasks.size())
+        << "stage report for unknown task";
     worker_busy[res->worker] = false;
     LiveTaskState& t = tasks[res->report.task_id];
+    EUGENE_CHECK(t.running) << "stage report for task " << res->report.task_id
+                            << " which has no stage in flight";
+    EUGENE_CHECK_EQ(res->report.stage, t.stages_done)
+        << "out-of-order stage report for task " << res->report.task_id;
     t.running = false;
     const double now = clock.now_ms();
     const bool late = now - t.submit_ms >= config.deadline_ms;

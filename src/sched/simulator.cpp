@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 
 namespace eugene::sched {
@@ -97,7 +98,8 @@ SimulationResult simulate(std::vector<TaskSpec> tasks, SchedulingPolicy& policy,
 
   auto finish_task = [&](std::size_t i) {
     TaskRuntime& t = runtime[i];
-    EUGENE_CHECK(!t.finished, "finish_task: already finished");
+    EUGENE_CHECK(!t.finished) << "finish_task: task " << t.spec->id
+                              << " already finished";
     t.finished = true;
     ServiceMetrics& svc = result.services[t.spec->service];
     ++svc.tasks;
@@ -144,11 +146,12 @@ SimulationResult simulate(std::vector<TaskSpec> tasks, SchedulingPolicy& policy,
           idx = i;
           break;
         }
-      EUGENE_CHECK(idx < runtime.size(), "policy picked an unknown task id");
+      EUGENE_CHECK_LT(idx, runtime.size())
+          << "policy picked unknown task id " << *choice;
       TaskRuntime& t = runtime[idx];
       EUGENE_CHECK(t.arrived && !t.finished && !t.running &&
-                       t.stages_done < t.spec->stages.size(),
-                   "policy picked a non-runnable task");
+                   t.stages_done < t.spec->stages.size())
+          << "policy picked non-runnable task " << *choice;
       t.running = true;
       --free_workers;
       const double dt = costs.duration_ms(t.stages_done, rng);

@@ -4,23 +4,36 @@ namespace eugene::serving {
 
 std::size_t ModelRegistry::add(std::string name, nn::StagedModel model) {
   EUGENE_REQUIRE(!name.empty(), "ModelRegistry::add: empty name");
-  EUGENE_REQUIRE(!find(name).has_value(),
+  MutexLock lock(mutex_);
+  EUGENE_REQUIRE(!find_locked(name).has_value(),
                  "ModelRegistry::add: duplicate model name '" + name + "'");
   entries_.push_back(std::make_unique<ModelEntry>(std::move(name), std::move(model)));
   return entries_.size() - 1;
 }
 
+std::size_t ModelRegistry::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
 ModelEntry& ModelRegistry::entry(std::size_t handle) {
+  MutexLock lock(mutex_);
   EUGENE_REQUIRE(handle < entries_.size(), "ModelRegistry: bad handle");
   return *entries_[handle];
 }
 
 const ModelEntry& ModelRegistry::entry(std::size_t handle) const {
+  MutexLock lock(mutex_);
   EUGENE_REQUIRE(handle < entries_.size(), "ModelRegistry: bad handle");
   return *entries_[handle];
 }
 
 std::optional<std::size_t> ModelRegistry::find(const std::string& name) const {
+  MutexLock lock(mutex_);
+  return find_locked(name);
+}
+
+std::optional<std::size_t> ModelRegistry::find_locked(const std::string& name) const {
   for (std::size_t i = 0; i < entries_.size(); ++i)
     if (entries_[i]->name == name) return i;
   return std::nullopt;

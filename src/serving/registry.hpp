@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/task.hpp"
@@ -25,20 +26,32 @@ struct ModelEntry {
 };
 
 /// Owning registry; handles are stable dense indices.
+///
+/// Registration and lookup are thread-safe (the serving front door registers
+/// and resolves models concurrently). The ModelEntry references returned by
+/// entry() are stable — entries are heap-allocated and never removed — but
+/// mutating an entry's contents concurrently with inference on it is the
+/// caller's problem, not the registry's.
 class ModelRegistry {
  public:
   /// Registers a model under a unique name; returns its handle.
-  std::size_t add(std::string name, nn::StagedModel model);
+  std::size_t add(std::string name, nn::StagedModel model)
+      EUGENE_EXCLUDES(mutex_);
 
-  std::size_t size() const { return entries_.size(); }
-  ModelEntry& entry(std::size_t handle);
-  const ModelEntry& entry(std::size_t handle) const;
+  std::size_t size() const EUGENE_EXCLUDES(mutex_);
+  ModelEntry& entry(std::size_t handle) EUGENE_EXCLUDES(mutex_);
+  const ModelEntry& entry(std::size_t handle) const EUGENE_EXCLUDES(mutex_);
 
   /// Handle of the model with the given name, if any.
-  std::optional<std::size_t> find(const std::string& name) const;
+  std::optional<std::size_t> find(const std::string& name) const
+      EUGENE_EXCLUDES(mutex_);
 
  private:
-  std::vector<std::unique_ptr<ModelEntry>> entries_;
+  std::optional<std::size_t> find_locked(const std::string& name) const
+      EUGENE_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ModelEntry>> entries_ EUGENE_GUARDED_BY(mutex_);
 };
 
 }  // namespace eugene::serving

@@ -1,5 +1,6 @@
 #include "serving/server.hpp"
 
+#include "common/check.hpp"
 #include "common/clock.hpp"
 #include "sched/policy.hpp"
 
@@ -76,9 +77,10 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
       v.observed_confidence = state[i].observed;
       runnable.push_back(v);
     }
-    EUGENE_CHECK(!runnable.empty(), "process_batch: live requests but none runnable");
+    EUGENE_CHECK(!runnable.empty())
+        << "process_batch: " << remaining << " live requests but none runnable";
     const auto choice = policy.pick(runnable, now);
-    EUGENE_CHECK(choice.has_value(), "process_batch: policy returned no task");
+    EUGENE_CHECK(choice.has_value()) << "process_batch: policy returned no task";
 
     RequestState& s = state[*choice];
     const nn::StageOutput out = entry_.model.run_stage(s.stages_done, s.features);

@@ -1,5 +1,7 @@
 #include "serving/usage.hpp"
 
+#include "common/check.hpp"
+
 namespace eugene::serving {
 
 UsageMeter::UsageMeter(sched::StageCostModel costs, std::vector<std::string> class_names)
@@ -18,9 +20,13 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
                  "UsageMeter::record: request/response size mismatch");
   EUGENE_REQUIRE(model_num_stages <= costs_.num_stages(),
                  "UsageMeter::record: cost model covers fewer stages than the model");
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     EUGENE_REQUIRE(requests[i].service_class < usage_.size(),
                    "UsageMeter::record: unknown service class");
+    // A response can never claim more stages than the model has.
+    EUGENE_CHECK_LE(responses[i].stages_run, model_num_stages)
+        << "UsageMeter::record: response claims impossible stage count";
     ClassUsage& u = usage_[requests[i].service_class];
     ++u.requests;
     u.stages_executed += responses[i].stages_run;
@@ -32,17 +38,29 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
   }
 }
 
+std::vector<ClassUsage> UsageMeter::usage() const {
+  MutexLock lock(mutex_);
+  return usage_;
+}
+
 double UsageMeter::charge(std::size_t service_class, const PricingPolicy& pricing) const {
+  MutexLock lock(mutex_);
+  return charge_locked(service_class, pricing);
+}
+
+double UsageMeter::total_charge(const PricingPolicy& pricing) const {
+  MutexLock lock(mutex_);
+  double total = 0.0;
+  for (std::size_t c = 0; c < usage_.size(); ++c) total += charge_locked(c, pricing);
+  return total;
+}
+
+double UsageMeter::charge_locked(std::size_t service_class,
+                                 const PricingPolicy& pricing) const {
   EUGENE_REQUIRE(service_class < usage_.size(), "UsageMeter::charge: unknown class");
   const ClassUsage& u = usage_[service_class];
   return pricing.per_request * static_cast<double>(u.requests) +
          pricing.per_compute_ms * u.compute_ms;
-}
-
-double UsageMeter::total_charge(const PricingPolicy& pricing) const {
-  double total = 0.0;
-  for (std::size_t c = 0; c < usage_.size(); ++c) total += charge(c, pricing);
-  return total;
 }
 
 }  // namespace eugene::serving

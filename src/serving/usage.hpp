@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sched/task.hpp"
 #include "serving/server.hpp"
 
@@ -39,7 +40,9 @@ struct PricingPolicy {
   double per_request = 0.05;
 };
 
-/// Meters batches against a model's profiled stage costs.
+/// Meters batches against a model's profiled stage costs. Thread-safe: many
+/// serving threads may record() batches concurrently while a billing thread
+/// reads usage() or charge().
 class UsageMeter {
  public:
   /// `costs` is the model's profiled per-stage execution time; `classes`
@@ -49,19 +52,27 @@ class UsageMeter {
   /// Records one processed batch.
   void record(const std::vector<InferenceRequest>& requests,
               const std::vector<InferenceResponse>& responses,
-              std::size_t model_num_stages);
+              std::size_t model_num_stages) EUGENE_EXCLUDES(mutex_);
 
-  const std::vector<ClassUsage>& usage() const { return usage_; }
+  /// Consistent snapshot of the per-class accumulators.
+  std::vector<ClassUsage> usage() const EUGENE_EXCLUDES(mutex_);
 
   /// Itemized charge for one class under a pricing policy.
-  double charge(std::size_t service_class, const PricingPolicy& pricing) const;
+  double charge(std::size_t service_class, const PricingPolicy& pricing) const
+      EUGENE_EXCLUDES(mutex_);
 
   /// Total charge across classes.
-  double total_charge(const PricingPolicy& pricing) const;
+  double total_charge(const PricingPolicy& pricing) const
+      EUGENE_EXCLUDES(mutex_);
 
  private:
-  sched::StageCostModel costs_;
-  std::vector<ClassUsage> usage_;
+  double charge_locked(std::size_t service_class,
+                       const PricingPolicy& pricing) const
+      EUGENE_REQUIRES(mutex_);
+
+  sched::StageCostModel costs_;  ///< immutable after construction
+  mutable Mutex mutex_;
+  std::vector<ClassUsage> usage_ EUGENE_GUARDED_BY(mutex_);
 };
 
 }  // namespace eugene::serving

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace eugene::tensor {
 
 Tensor cholesky(const Tensor& a) {
@@ -32,6 +34,9 @@ std::vector<double> solve_lower(const Tensor& l, const std::vector<double>& b) {
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
     for (std::size_t k = 0; k < i; ++k) sum -= static_cast<double>(l.at(i, k)) * x[k];
+    // A zero pivot means `l` is not a Cholesky factor; dividing would silently
+    // fill the solution with inf/NaN.
+    EUGENE_DCHECK_NE(l.at(i, i), 0.0f) << "solve_lower: zero pivot at row " << i;
     x[i] = sum / l.at(i, i);
   }
   return x;
@@ -45,6 +50,8 @@ std::vector<double> solve_lower_transpose(const Tensor& l, const std::vector<dou
     double sum = b[ii];
     for (std::size_t k = ii + 1; k < n; ++k)
       sum -= static_cast<double>(l.at(k, ii)) * x[k];
+    EUGENE_DCHECK_NE(l.at(ii, ii), 0.0f)
+        << "solve_lower_transpose: zero pivot at row " << ii;
     x[ii] = sum / l.at(ii, ii);
   }
   return x;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/channel.hpp"
+#include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/fifo_channel.hpp"
@@ -19,8 +20,90 @@ namespace {
 
 TEST(Error, CheckMacrosThrowTypedExceptions) {
   EXPECT_THROW(EUGENE_REQUIRE(false, "client bug"), InvalidArgument);
-  EXPECT_THROW(EUGENE_CHECK(false, "internal bug"), InternalError);
+  EXPECT_THROW(EUGENE_CHECK(false) << "internal bug", InternalError);
   EXPECT_NO_THROW(EUGENE_REQUIRE(true, ""));
+  EXPECT_NO_THROW(EUGENE_CHECK(true) << "never rendered");
+}
+
+TEST(Check, StreamedMessageAndLocationInWhat) {
+  try {
+    EUGENE_CHECK(1 + 1 == 3) << "math is broken, off by " << 1;
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("math is broken, off by 1"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacrosReportBothValues) {
+  try {
+    EUGENE_CHECK_LT(5, 3) << "expected ordering";
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5 < 3"), std::string::npos);
+    EXPECT_NE(what.find("(5 vs. 3)"), std::string::npos);
+    EXPECT_NE(what.find("expected ordering"), std::string::npos);
+  }
+  EXPECT_THROW(EUGENE_CHECK_EQ(1, 2), InternalError);
+  EXPECT_THROW(EUGENE_CHECK_NE(7, 7), InternalError);
+  EXPECT_THROW(EUGENE_CHECK_LE(2, 1), InternalError);
+  EXPECT_THROW(EUGENE_CHECK_GT(1, 1), InternalError);
+  EXPECT_THROW(EUGENE_CHECK_GE(0, 1), InternalError);
+}
+
+TEST(Check, PassingChecksEvaluateOperandsOnce) {
+  int evaluations = 0;
+  auto next = [&evaluations] { return ++evaluations; };
+  EUGENE_CHECK_GE(next(), 1);
+  EXPECT_EQ(evaluations, 1);
+  EUGENE_CHECK(next() == 2) << "streamed only on failure";
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Check, StreamedMessageIsLazy) {
+  // The message expression after a passing check must never run.
+  bool rendered = false;
+  auto render = [&rendered] {
+    rendered = true;
+    return "boom";
+  };
+  EUGENE_CHECK(true) << render();
+  EXPECT_FALSE(rendered);
+}
+
+TEST(Check, MacroIsASingleStatement) {
+  // The if/else expansion must neither split under an unbraced if nor steal
+  // the else branch (dangling-else).
+  if (true)
+    EUGENE_CHECK(true) << "fine";
+  else
+    FAIL() << "dangling else captured";
+
+  bool reached_else = false;
+  if (false)
+    EUGENE_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(Check, DcheckSemanticsMatchBuildType) {
+  int evaluations = 0;
+#ifdef NDEBUG
+  // Release: operands are never evaluated and failures never throw.
+  EUGENE_DCHECK([&evaluations] { ++evaluations; return false; }());
+  EUGENE_DCHECK_EQ([&evaluations] { ++evaluations; return 1; }(), 2);
+  EXPECT_EQ(evaluations, 0);
+#else
+  // Debug: EUGENE_DCHECK is exactly EUGENE_CHECK.
+  EUGENE_DCHECK([&evaluations] { ++evaluations; return true; }());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(EUGENE_DCHECK(false) << "debug failure", InternalError);
+  EXPECT_THROW(EUGENE_DCHECK_EQ(1, 2), InternalError);
+#endif
 }
 
 TEST(Error, MessageCarriesLocationAndExpression) {

@@ -1,0 +1,311 @@
+// TSan-targeted stress tests for the concurrent core: thread pool shutdown,
+// MPMC channels, the shared FIFO transport, the model registry, the usage
+// meter, and the live scheduler. These pass under the plain build too, but
+// their real job is to give ThreadSanitizer (the `tsan` CMake preset)
+// schedules in which a data race would be visible.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "calib/evaluation.hpp"
+#include "common/channel.hpp"
+#include "common/fifo_channel.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic_images.hpp"
+#include "gp/confidence_curve.hpp"
+#include "sched/live.hpp"
+#include "serving/registry.hpp"
+#include "serving/usage.hpp"
+
+namespace eugene {
+namespace {
+
+TEST(Race, ThreadPoolSubmitDuringDestruction) {
+  // Tasks re-submit follow-up work while the destructor is already draining;
+  // every job (parent and child) must still execute exactly once.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&pool, &ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+    // Destruction races the re-submissions from worker threads.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Race, ThreadPoolManyProducers) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      for (int i = 0; i < 200; ++i)
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+            .wait();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ran.load(), 800);
+}
+
+TEST(Race, ChannelMpmcConservesItems) {
+  Channel<int> ch;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2000;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = ch.receive()) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(ch.send(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(Race, ChannelCloseWhileSendingAndDraining) {
+  // The admit-while-draining shape: producers keep admitting until the
+  // channel refuses, a closer pulls the plug mid-stream, and consumers must
+  // drain exactly the accepted items.
+  Channel<int> ch;
+  std::atomic<int> accepted{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        if (!ch.send(i)) return;  // channel closed under us
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (ch.receive()) received.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ch.close();
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(received.load(), accepted.load());
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Race, FifoSharedWriterKeepsFramesIntact) {
+  // Multiple threads share one FifoWriter. Frames are larger than PIPE_BUF
+  // (4096 on Linux), so without internal locking the pipe would interleave
+  // bytes from different frames.
+  const std::string path =
+      "/tmp/eugene_race_fifo_" + std::to_string(::getpid());
+  constexpr int kWriters = 3, kFramesPerWriter = 20;
+  constexpr std::size_t kFrameSize = 16 * 1024;
+
+  std::atomic<int> intact{0};
+  std::thread reader_thread([&] {
+    FifoReader reader(path);
+    while (auto frame = reader.read_frame()) {
+      ASSERT_EQ(frame->size(), kFrameSize);
+      bool uniform = true;
+      for (std::uint8_t b : *frame) uniform &= (b == frame->front());
+      ASSERT_TRUE(uniform) << "frame interleaved bytes from another writer";
+      intact.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  {
+    FifoWriter writer(path);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&writer, w] {
+        const std::vector<std::uint8_t> payload(
+            kFrameSize, static_cast<std::uint8_t>('A' + w));
+        for (int i = 0; i < kFramesPerWriter; ++i)
+          ASSERT_TRUE(writer.write_frame(payload));
+      });
+    }
+    for (auto& t : writers) t.join();
+  }  // writer closes -> reader sees EOF
+  reader_thread.join();
+  EXPECT_EQ(intact.load(), kWriters * kFramesPerWriter);
+}
+
+nn::StagedResNetConfig tiny_model_config() {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {3, 4};
+  cfg.head_hidden = 8;
+  return cfg;
+}
+
+TEST(Race, RegistryConcurrentLookupAndRegister) {
+  serving::ModelRegistry registry;
+  constexpr int kThreads = 4, kModelsPerThread = 3;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> lookups;
+  for (int t = 0; t < 2; ++t) {
+    lookups.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (auto h = registry.find("t0-m0")) {
+          // Handles are stable: once found, the entry stays valid even while
+          // other threads keep registering.
+          ASSERT_LT(*h, registry.size());
+          ASSERT_EQ(registry.entry(*h).name, "t0-m0");
+        }
+      }
+    });
+  }
+  std::vector<std::thread> registrars;
+  for (int t = 0; t < kThreads; ++t) {
+    registrars.emplace_back([&registry, t] {
+      for (int m = 0; m < kModelsPerThread; ++m) {
+        const std::string name =
+            "t" + std::to_string(t) + "-m" + std::to_string(m);
+        const std::size_t h =
+            registry.add(name, nn::build_staged_resnet(tiny_model_config()));
+        ASSERT_EQ(registry.entry(h).name, name);
+      }
+    });
+  }
+  for (auto& t : registrars) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : lookups) t.join();
+
+  EXPECT_EQ(registry.size(),
+            static_cast<std::size_t>(kThreads * kModelsPerThread));
+  for (int t = 0; t < kThreads; ++t)
+    for (int m = 0; m < kModelsPerThread; ++m)
+      EXPECT_TRUE(registry
+                      .find("t" + std::to_string(t) + "-m" + std::to_string(m))
+                      .has_value());
+}
+
+TEST(Race, UsageMeterConcurrentRecordAndCharge) {
+  sched::StageCostModel costs;
+  costs.stage_ms = {1.0, 2.0};
+  serving::UsageMeter meter(costs, {"a", "b"});
+
+  std::vector<serving::InferenceRequest> requests(4);
+  std::vector<serving::InferenceResponse> responses(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].service_class = i % 2;
+    responses[i].stages_run = 2;
+  }
+
+  constexpr int kThreads = 4, kBatches = 200;
+  std::atomic<bool> stop{false};
+  std::thread billing([&] {
+    const serving::PricingPolicy pricing;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Charges only grow, so a class charge taken first can never exceed a
+      // total taken afterwards.
+      const double class0 = meter.charge(0, pricing);
+      const double total = meter.total_charge(pricing);
+      ASSERT_GE(class0, 0.0);
+      ASSERT_LE(class0, total);
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t)
+    recorders.emplace_back(
+        [&] { for (int b = 0; b < kBatches; ++b) meter.record(requests, responses, 2); });
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  billing.join();
+
+  const auto usage = meter.usage();
+  ASSERT_EQ(usage.size(), 2u);
+  const std::size_t expected = kThreads * kBatches * 2;  // 2 requests per class
+  EXPECT_EQ(usage[0].requests, expected);
+  EXPECT_EQ(usage[1].requests, expected);
+  EXPECT_EQ(usage[0].stages_executed, expected * 2);
+}
+
+TEST(Race, ConcurrentLoggingDoesNotRace) {
+  set_log_level(LogLevel::Error);  // lines below threshold: cheap, still locked
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([t] {
+      for (int i = 0; i < 500; ++i)
+        EUGENE_LOG(Warn) << "thread " << t << " line " << i;
+    });
+  }
+  for (auto& t : loggers) t.join();
+  set_log_level(LogLevel::Warn);
+}
+
+TEST(Race, LiveSchedulerAdmitWhileDraining) {
+  // Two live-scheduler instances run concurrently, each with its own worker
+  // replicas; one runs with a deadline tight enough that tasks keep expiring
+  // (draining) while the dispatcher is still admitting stages. Exercises the
+  // worker threads, both channel directions, and the policy under TSan.
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.num_classes = 4;
+  data_cfg.channels = 2;
+  data_cfg.height = 8;
+  data_cfg.width = 8;
+  Rng rng(17);
+  const data::Dataset train = data::generate_images(data_cfg, 60, rng);
+  const data::Dataset batch = data::generate_images(data_cfg, 8, rng);
+
+  nn::StagedModel model = nn::build_staged_resnet(tiny_model_config());
+  const calib::StagedEvaluation eval = calib::evaluate_staged(model, train);
+  gp::ConfidenceCurveModel curves;
+  curves.fit(eval);
+
+  auto run_one = [&](double deadline_ms, std::size_t workers) {
+    auto replicas = sched::replicate_staged_model(
+        model, [] { return nn::build_staged_resnet(tiny_model_config()); },
+        workers);
+    sched::LiveConfig cfg;
+    cfg.deadline_ms = deadline_ms;
+    const auto results =
+        sched::run_live(replicas, curves, batch.samples, cfg);
+    ASSERT_EQ(results.size(), batch.size());
+    for (const auto& r : results) ASSERT_LE(r.stages_run, 2u);
+  };
+
+  std::thread relaxed([&] { run_one(1e9, 3); });
+  std::thread strained([&] {
+    for (int rep = 0; rep < 3; ++rep) run_one(0.5, 2);
+  });
+  relaxed.join();
+  strained.join();
+}
+
+}  // namespace
+}  // namespace eugene
