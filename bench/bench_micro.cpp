@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/channel.hpp"
+#include "common/failpoint.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/policy.hpp"
@@ -115,6 +116,26 @@ void BM_GreedyPolicyPick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyPolicyPick)->Arg(10)->Arg(100)->Arg(1000);
+
+// The failpoint contract (DESIGN.md §8): a disarmed EUGENE_FAILPOINT must
+// cost one relaxed atomic load — under a nanosecond — so production code can
+// carry injection sites unconditionally.
+void BM_FailpointDisabled(benchmark::State& state) {
+  FailpointRegistry::instance().disarm_all();
+  for (auto _ : state) EUGENE_FAILPOINT("bench.never.armed");
+}
+BENCHMARK(BM_FailpointDisabled);
+
+// With a different failpoint armed, every site pays the registry lookup.
+// This is the cost of running *under chaos*, not the production overhead.
+void BM_FailpointArmedOther(benchmark::State& state) {
+  FailpointSpec spec;
+  spec.probability = 0.0;  // armed but never fires
+  FailpointRegistry::instance().arm("bench.other", spec);
+  for (auto _ : state) EUGENE_FAILPOINT("bench.never.armed");
+  FailpointRegistry::instance().disarm_all();
+}
+BENCHMARK(BM_FailpointArmedOther);
 
 void BM_ChannelSendReceive(benchmark::State& state) {
   Channel<int> ch;

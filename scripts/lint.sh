@@ -67,6 +67,17 @@ if grep -rnE --include='*.cpp' --include='*.hpp' '(^|[^_[:alnum:]"])new +[[:alnu
   fail "naked 'new' in src/ (use std::make_unique; annotate intentional uses with // NOLINT-new)"
 fi
 
+# Everything thrown from src/ must derive from eugene::Error so the fault
+# paths (worker supervision, stage retry, transport recovery) can catch one
+# taxonomy (DESIGN.md §8). Bare `throw;` rethrows are fine.
+if grep -rnE --include='*.cpp' --include='*.hpp' '(^|[^_[:alnum:]])throw[[:space:]]' src \
+  | grep -v '^src/common/error.hpp' \
+  | sed 's%//.*%%' \
+  | grep -E '(^|[^_[:alnum:]])throw +[[:alnum:]_:]' \
+  | grep -vE 'throw +(::)?(eugene::)?(Error|InvalidArgument|InternalError|TransportError|FailpointError)[({]'; then
+  fail "throw of a non-eugene::Error type in src/ (use the taxonomy in common/error.hpp)"
+fi
+
 # The library logs through EUGENE_LOG; stdout belongs to examples and benches.
 if grep -rn --include='*.cpp' --include='*.hpp' 'std::cout' src; then
   fail "std::cout in src/ (use EUGENE_LOG from common/logging.hpp)"

@@ -43,6 +43,20 @@ class Channel {
     return value;
   }
 
+  /// Blocks up to `timeout_ms` for an item; std::nullopt on timeout or when
+  /// the channel is closed and drained. Lets a supervisor keep running its
+  /// health sweep even when every producer has gone silent.
+  std::optional<T> receive_for(double timeout_ms) EUGENE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    cv_.wait_for(mutex_, timeout_ms, [this]() EUGENE_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
   /// Non-blocking receive; std::nullopt when nothing is pending.
   std::optional<T> try_receive() EUGENE_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);

@@ -30,6 +30,14 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when an inter-process transport (e.g. the named-pipe channel)
+/// detects corruption, truncation, or a bounded-wait timeout. Recoverable by
+/// the caller: reconnect, re-send, or fail over — never silently swallowed.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 template <typename E>

@@ -1,6 +1,7 @@
 #include "common/fifo_channel.hpp"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -8,10 +9,15 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/clock.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace eugene {
 namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc32
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -26,38 +32,99 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-}  // namespace
+/// poll(2) one fd for `events`; returns the revents. Throws TransportError
+/// when nothing happens within timeout_ms.
+short poll_or_throw(int fd, short events, double timeout_ms, const char* what) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int timeout = timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms) + 1;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("fifo: poll failed while ") + what + ": " +
+                           std::strerror(errno));
+    }
+    if (rc == 0)
+      throw TransportError(std::string("fifo: timed out while ") + what +
+                           " (io_timeout_ms exceeded)");
+    return pfd.revents;
+  }
+}
 
-FifoWriter::FifoWriter(const std::string& path) {
-  // Create the FIFO if it does not exist yet so writer and reader can come
-  // up in either order (mkfifo is idempotent modulo EEXIST).
-  if (::mkfifo(path.c_str(), 0600) != 0) {
-    EUGENE_REQUIRE(errno == EEXIST, "FifoWriter: mkfifo failed for " + path + ": " +
+void make_fifo(const std::string& path, bool* created) {
+  if (::mkfifo(path.c_str(), 0600) == 0) {
+    if (created != nullptr) *created = true;
+  } else {
+    EUGENE_REQUIRE(errno == EEXIST, "fifo: mkfifo failed for " + path + ": " +
                                         std::strerror(errno));
   }
-  fd_ = ::open(path.c_str(), O_WRONLY);
-  EUGENE_REQUIRE(fd_ >= 0, "FifoWriter: cannot open " + path + ": " +
-                               std::strerror(errno));
+}
+
+}  // namespace
+
+FifoWriter::FifoWriter(const std::string& path, FifoOptions options)
+    : options_(options) {
+  // Create the FIFO if it does not exist yet so writer and reader can come
+  // up in either order (mkfifo is idempotent modulo EEXIST).
+  make_fifo(path, nullptr);
+  // O_NONBLOCK open fails with ENXIO until a reader holds the other end;
+  // retry with backoff so a slow-starting reader is tolerated but a missing
+  // one surfaces as a typed error instead of an indefinite block.
+  Stopwatch watch;
+  Rng backoff_rng(0x0f1f0);
+  std::size_t attempt = 0;
+  for (;;) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_NONBLOCK | O_CLOEXEC);
+    if (fd_ >= 0) break;
+    if (errno != ENXIO)
+      throw TransportError("FifoWriter: cannot open " + path + ": " +
+                           std::strerror(errno));
+    if (watch.elapsed_ms() >= options_.open_timeout_ms)
+      throw TransportError("FifoWriter: no reader on " + path + " within " +
+                           std::to_string(options_.open_timeout_ms) + " ms");
+    ++attempt;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        backoff_delay_ms(options_.open_retry, attempt, backoff_rng)));
+  }
 }
 
 FifoWriter::~FifoWriter() {
+  MutexLock lock(io_mutex_);
   if (fd_ >= 0) ::close(fd_);
 }
 
 bool FifoWriter::write_frame(const std::vector<std::uint8_t>& payload) {
+  EUGENE_REQUIRE(payload.size() <= options_.max_frame_bytes,
+                 "FifoWriter: payload exceeds max_frame_bytes");
   std::vector<std::uint8_t> frame;
-  frame.reserve(payload.size() + 4);
+  frame.reserve(payload.size() + kHeaderBytes);
   put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
+
+  // Chaos seams. Corruption flips one byte *after* the CRC was computed, so
+  // the reader's check must catch it; a torn write drops the tail of the
+  // frame, as if this worker process died mid-write.
+  if (EUGENE_FAILPOINT_FIRED("fifo.write.corrupt"))
+    frame[frame.size() > kHeaderBytes ? kHeaderBytes : 4] ^= 0x01;
+  std::size_t frame_bytes = frame.size();
+  if (EUGENE_FAILPOINT_FIRED("fifo.write.torn")) frame_bytes = frame.size() / 2;
 
   // Hold the lock across the whole frame: pipe writes beyond PIPE_BUF are not
   // atomic, so concurrent writers would interleave bytes mid-frame.
   MutexLock lock(io_mutex_);
   std::size_t written = 0;
-  while (written < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+  while (written < frame_bytes) {
+    const short revents =
+        poll_or_throw(fd_, POLLOUT, options_.io_timeout_ms, "writing a frame");
+    if ((revents & (POLLERR | POLLHUP)) != 0 && (revents & POLLOUT) == 0)
+      return false;  // reader gone
+    const ssize_t n = ::write(fd_, frame.data() + written, frame_bytes - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN) continue;
       return false;  // reader gone (EPIPE) or other terminal error
     }
     written += static_cast<std::size_t>(n);
@@ -65,45 +132,75 @@ bool FifoWriter::write_frame(const std::vector<std::uint8_t>& payload) {
   return true;
 }
 
-FifoReader::FifoReader(const std::string& path) : path_(path) {
-  if (::mkfifo(path.c_str(), 0600) == 0) {
-    created_ = true;
-  } else {
-    EUGENE_REQUIRE(errno == EEXIST,
-                   "FifoReader: mkfifo failed for " + path + ": " +
-                       std::strerror(errno));
-  }
-  fd_ = ::open(path.c_str(), O_RDONLY);
+FifoReader::FifoReader(const std::string& path, FifoOptions options)
+    : path_(path), options_(options) {
+  make_fifo(path, &created_);
+  // Blocking open: rendezvous with the first writer (the paper's scheduler
+  // comes up waiting for its worker pool). Subsequent IO is non-blocking and
+  // bounded by poll.
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   EUGENE_REQUIRE(fd_ >= 0, "FifoReader: cannot open " + path + ": " +
                                std::strerror(errno));
+  const int flags = ::fcntl(fd_, F_GETFL);
+  EUGENE_CHECK(flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "FifoReader: cannot set O_NONBLOCK on " << path;
 }
 
 FifoReader::~FifoReader() {
-  if (fd_ >= 0) ::close(fd_);
+  {
+    MutexLock lock(io_mutex_);
+    if (fd_ >= 0) ::close(fd_);
+  }
   if (created_) ::unlink(path_.c_str());
 }
 
-bool FifoReader::read_exact(std::uint8_t* buf, std::size_t n) {
+std::size_t FifoReader::read_upto(std::uint8_t* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::read(fd_, buf + got, n - got);
-    if (r == 0) return false;  // EOF: all writers closed
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      EUGENE_CHECK(r >= 0) << "FifoReader read error: " << std::strerror(errno);
+    if (r == 0) return got;  // EOF: all writers closed
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
     }
-    got += static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Bounded wait for the next byte; POLLHUP alone still lets read()
+      // drain buffered bytes, so loop back to read unconditionally.
+      poll_or_throw(fd_, POLLIN, options_.io_timeout_ms, "reading a frame");
+      continue;
+    }
+    throw TransportError(std::string("FifoReader: read error: ") +
+                         std::strerror(errno));
   }
-  return true;
+  return got;
 }
 
 std::optional<std::vector<std::uint8_t>> FifoReader::read_frame() {
   MutexLock lock(io_mutex_);
-  std::uint8_t header[4];
-  if (!read_exact(header, 4)) return std::nullopt;
+  std::uint8_t header[kHeaderBytes];
+  const std::size_t header_got = read_upto(header, kHeaderBytes);
+  if (header_got == 0) return std::nullopt;  // clean EOF at a frame boundary
+  if (header_got < kHeaderBytes)
+    throw TransportError("FifoReader: writer died mid-header (" +
+                         std::to_string(header_got) + " of " +
+                         std::to_string(kHeaderBytes) + " bytes)");
   const std::uint32_t len = get_u32(header);
+  const std::uint32_t expected_crc = get_u32(header + 4);
+  if (len > options_.max_frame_bytes)
+    throw TransportError("FifoReader: frame length " + std::to_string(len) +
+                         " exceeds max_frame_bytes (corrupt length prefix?)");
   std::vector<std::uint8_t> payload(len);
-  if (len > 0 && !read_exact(payload.data(), len)) return std::nullopt;
+  if (len > 0) {
+    const std::size_t got = read_upto(payload.data(), len);
+    if (got < len)
+      throw TransportError("FifoReader: truncated frame (" + std::to_string(got) +
+                           " of " + std::to_string(len) +
+                           " payload bytes before EOF)");
+  }
+  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+  if (actual_crc != expected_crc)
+    throw TransportError("FifoReader: CRC mismatch (frame corrupted in transit)");
   return payload;
 }
 

@@ -2,8 +2,19 @@
 //
 // The paper: "The confidence in classification will then be sent to our
 // user-level scheduler through a named pipe in linux." This class reproduces
-// that transport: length-prefixed binary frames over a mkfifo() pipe, one
-// writer end per worker and one reader end at the scheduler.
+// that transport — hardened for the failure model in DESIGN.md §8:
+//
+//   * frames are length-prefixed AND CRC32-checked, so corrupted bytes yield
+//     a typed eugene::TransportError instead of garbage scheduler state;
+//   * every read and write waits a bounded time (poll(2)), so a stalled or
+//     dead peer yields TransportError instead of a hang;
+//   * the writer's open() retries with exponential backoff while the reader
+//     comes up, bounded by open_timeout_ms (reconnect-with-backoff);
+//   * a frame truncated by writer death surfaces as TransportError, never as
+//     an indefinite block or a short garbage frame.
+//
+// Wire format per frame: [u32 LE payload length][u32 LE CRC32(payload)]
+// [payload bytes].
 #pragma once
 
 #include <cstdint>
@@ -11,55 +22,80 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace eugene {
 
-/// Writer end of a named pipe carrying length-prefixed frames.
+/// Transport robustness knobs, shared by both pipe ends.
+struct FifoOptions {
+  double open_timeout_ms = 10'000.0;  ///< writer: bounded wait for a reader
+  double io_timeout_ms = 10'000.0;    ///< bounded wait for pipe readiness
+  std::size_t max_frame_bytes = 64u << 20;  ///< reject absurd/corrupt lengths
+  RetryPolicy open_retry{/*max_attempts=*/100, /*base_delay_ms=*/0.5,
+                         /*max_delay_ms=*/50.0, /*jitter=*/0.5};
+};
+
+/// Writer end of a named pipe carrying CRC-checked frames.
 /// Thread-safe: concurrent write_frame() calls are serialized so frames
 /// larger than PIPE_BUF never interleave on the pipe.
+///
+/// Failpoints (chaos testing): `fifo.write.corrupt` flips a frame byte after
+/// the CRC is computed; `fifo.write.torn` drops the second half of a frame
+/// (simulates the writer dying mid-frame).
 class FifoWriter {
  public:
-  /// Opens the FIFO at `path` for writing (blocks until a reader exists).
-  explicit FifoWriter(const std::string& path);
+  /// Opens the FIFO at `path` for writing, retrying with backoff until a
+  /// reader appears; throws TransportError after open_timeout_ms without one.
+  explicit FifoWriter(const std::string& path, FifoOptions options = {});
   ~FifoWriter();
 
   FifoWriter(const FifoWriter&) = delete;
   FifoWriter& operator=(const FifoWriter&) = delete;
 
-  /// Writes one frame: 4-byte little-endian length then payload.
-  /// Returns false if the pipe broke (reader gone).
+  /// Writes one frame. Returns false if the pipe broke (reader gone).
+  /// Throws TransportError if the pipe stays unwritable past io_timeout_ms
+  /// or the payload exceeds max_frame_bytes.
   bool write_frame(const std::vector<std::uint8_t>& payload)
       EUGENE_EXCLUDES(io_mutex_);
 
  private:
+  FifoOptions options_;
   Mutex io_mutex_;               ///< serializes whole frames onto the pipe
   int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
 };
 
-/// Reader end of a named pipe carrying length-prefixed frames.
+/// Reader end of a named pipe carrying CRC-checked frames.
 /// Thread-safe: concurrent read_frame() calls are serialized so each consumer
 /// sees whole frames.
 class FifoReader {
  public:
-  /// Creates the FIFO at `path` if needed and opens it for reading.
-  explicit FifoReader(const std::string& path);
+  /// Creates the FIFO at `path` if needed and opens it for reading (blocks
+  /// until a writer opens the other end — the rendezvous the paper's process
+  /// pool relies on).
+  explicit FifoReader(const std::string& path, FifoOptions options = {});
   ~FifoReader();
 
   FifoReader(const FifoReader&) = delete;
   FifoReader& operator=(const FifoReader&) = delete;
 
-  /// Blocks for the next frame; std::nullopt on EOF (all writers closed).
+  /// Blocks (bounded) for the next frame; std::nullopt on clean EOF (all
+  /// writers closed at a frame boundary). Throws TransportError on a CRC
+  /// mismatch, an oversized length prefix, a frame truncated by writer
+  /// death, or io_timeout_ms without pipe activity.
   std::optional<std::vector<std::uint8_t>> read_frame()
       EUGENE_EXCLUDES(io_mutex_);
 
   const std::string& path() const { return path_; }
 
  private:
-  /// Reads exactly n bytes; false on EOF.
-  bool read_exact(std::uint8_t* buf, std::size_t n) EUGENE_REQUIRES(io_mutex_);
+  /// Reads up to n bytes, stopping early only at EOF; returns bytes read.
+  /// Throws TransportError when the pipe stays silent past io_timeout_ms.
+  std::size_t read_upto(std::uint8_t* buf, std::size_t n)
+      EUGENE_REQUIRES(io_mutex_);
 
   std::string path_;
+  FifoOptions options_;
   Mutex io_mutex_;               ///< serializes whole frames off the pipe
   int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
   bool created_ = false;

@@ -1,0 +1,58 @@
+// Bounded retry with exponential backoff and jitter.
+//
+// Shared by the live scheduler's worker supervision (re-dispatching a task
+// whose worker died) and the FIFO transport's reconnect path. Delays are
+// computed from an explicit Rng so retry schedules are reproducible.
+#pragma once
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eugene {
+
+/// Backoff shape: delay(attempt) = min(base * 2^(attempt-1), max), then
+/// jittered by a uniform draw in [1 - jitter, 1 + jitter].
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total tries (first attempt included)
+  double base_delay_ms = 1.0;
+  double max_delay_ms = 100.0;
+  double jitter = 0.5;           ///< fraction of the delay randomized away
+};
+
+/// Backoff delay before retry number `attempt` (1-based: attempt 1 is the
+/// first *retry*). Deterministic given the Rng state.
+inline double backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt,
+                               Rng& rng) {
+  EUGENE_REQUIRE(attempt >= 1, "backoff_delay_ms: attempt is 1-based");
+  EUGENE_REQUIRE(policy.jitter >= 0.0 && policy.jitter <= 1.0,
+                 "backoff_delay_ms: jitter outside [0,1]");
+  double delay = policy.base_delay_ms;
+  for (std::size_t i = 1; i < attempt && delay < policy.max_delay_ms; ++i)
+    delay *= 2.0;
+  delay = std::min(delay, policy.max_delay_ms);
+  if (policy.jitter > 0.0)
+    delay *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  return delay;
+}
+
+/// Calls `fn` until it succeeds or the attempt budget is exhausted, sleeping
+/// the backoff delay between tries. Retries on eugene::Error; the final
+/// attempt's exception propagates. Returns fn's result.
+template <typename F>
+auto retry_with_backoff(const RetryPolicy& policy, Rng& rng, F&& fn) {
+  EUGENE_REQUIRE(policy.max_attempts >= 1, "retry_with_backoff: zero attempts");
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const Error&) {
+      if (attempt >= policy.max_attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        backoff_delay_ms(policy, attempt, rng)));
+  }
+}
+
+}  // namespace eugene

@@ -18,6 +18,7 @@
 // are declared `EUGENE_EXCLUDES(mutex_)` when re-entry would deadlock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -94,6 +95,14 @@ class CondVar {
   template <typename Pred>
   void wait(Mutex& mu, Pred pred) EUGENE_REQUIRES(mu) {
     cv_.wait(mu, pred);
+  }
+
+  /// Blocks until `pred()` is true or `timeout_ms` elapses; returns pred's
+  /// final value. Same locking contract as wait().
+  template <typename Pred>
+  bool wait_for(Mutex& mu, double timeout_ms, Pred pred) EUGENE_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double, std::milli>(timeout_ms),
+                        pred);
   }
 
   void notify_one() { cv_.notify_one(); }

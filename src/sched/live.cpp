@@ -1,11 +1,13 @@
 #include "sched/live.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 
 #include "common/channel.hpp"
 #include "common/check.hpp"
 #include "common/clock.hpp"
+#include "common/failpoint.hpp"
 #include "common/fifo_channel.hpp"
 #include "common/logging.hpp"
 #include "nn/serialize.hpp"
@@ -38,14 +40,19 @@ namespace {
 struct Job {
   std::size_t task_id = 0;
   std::size_t stage = 0;
+  std::uint64_t seq = 0;  ///< dispatch sequence; stale results are discarded
   Tensor features;  ///< previous stage output (or the raw input for stage 0)
 };
 
 /// Worker → scheduler: the paper's end-of-stage report, plus the features
 /// the next stage needs (kept in-process; only the StageReport crosses the
-/// paper's named pipe).
+/// paper's named pipe). ok=false is a crash report: the stage threw and the
+/// worker thread is exiting, like a worker process dying.
 struct WorkerResult {
   std::size_t worker = 0;
+  std::uint64_t seq = 0;
+  bool ok = true;
+  std::string error;  ///< what() of the crash, when !ok
   StageReport report;
   Tensor features;
 };
@@ -55,11 +62,24 @@ struct LiveTaskState {
   std::vector<double> observed_confidence;
   std::size_t stages_done = 0;
   std::size_t last_label = 0;
+  std::size_t retries = 0;
+  double eligible_ms = 0.0;  ///< backoff gate: no dispatch before this time
   bool running = false;
   bool done = false;
   bool expired = false;
+  bool degraded = false;
   double submit_ms = 0.0;
   double finish_ms = 0.0;
+};
+
+/// Scheduler-side view of one worker. `seq` identifies the in-flight
+/// dispatch so a report from an abandoned worker is recognizably stale.
+struct WorkerSlot {
+  bool busy = false;
+  bool dead = false;
+  std::uint64_t seq = 0;
+  std::size_t task = 0;
+  double dispatched_ms = 0.0;
 };
 
 }  // namespace
@@ -67,11 +87,27 @@ struct LiveTaskState {
 std::vector<LiveTaskResult> run_live(
     std::vector<std::unique_ptr<nn::StagedModel>>& worker_models,
     const gp::ConfidenceCurveModel& curves, const std::vector<Tensor>& inputs,
-    const LiveConfig& config) {
+    const LiveConfig& config, LiveStats* stats) {
+  // Validate everything a caller can get wrong *before* any thread starts,
+  // so bad input surfaces as InvalidArgument here rather than an
+  // InternalError deep inside a worker.
   EUGENE_REQUIRE(!worker_models.empty(), "run_live: need at least one worker model");
   EUGENE_REQUIRE(!inputs.empty(), "run_live: empty input batch");
+  for (const auto& m : worker_models)
+    EUGENE_REQUIRE(m != nullptr, "run_live: null worker model replica");
   const std::size_t num_workers = worker_models.size();
   const std::size_t num_stages = worker_models.front()->num_stages();
+  EUGENE_REQUIRE(num_stages > 0, "run_live: model has no stages");
+  for (const auto& m : worker_models)
+    EUGENE_REQUIRE(m->num_stages() == num_stages,
+                   "run_live: worker replicas disagree on stage count");
+  for (const Tensor& input : inputs) {
+    EUGENE_REQUIRE(input.numel() > 0, "run_live: empty input tensor in batch");
+    EUGENE_REQUIRE(input.same_shape(inputs.front()),
+                   "run_live: mismatched input shapes within batch");
+  }
+  EUGENE_REQUIRE(config.lookahead >= 1, "run_live: lookahead must be >= 1");
+  EUGENE_REQUIRE(config.deadline_ms > 0.0, "run_live: deadline must be positive");
 
   GpUtilityEstimator estimator(curves);
   GreedyUtilityPolicy policy(estimator, config.lookahead);
@@ -79,35 +115,50 @@ std::vector<LiveTaskResult> run_live(
   std::vector<Channel<Job>> job_channels(num_workers);
   Channel<WorkerResult> results;
 
-  // Worker threads: block on their job channel, run one stage on their own
-  // replica, report (task, stage, label, confidence) back.
-  std::vector<std::thread> workers;
-  workers.reserve(num_workers);
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    workers.emplace_back([&, w] {
-      nn::StagedModel& model = *worker_models[w];
-      while (auto job = job_channels[w].receive()) {
+  // Worker body: block on the job channel, run one stage on this worker's
+  // replica, report (task, stage, label, confidence) back. A throwing stage
+  // — real bug or armed failpoint — becomes a crash report and thread exit,
+  // mirroring a worker process dying; the supervisor handles the rest.
+  auto worker_main = [&](std::size_t w) {
+    nn::StagedModel& model = *worker_models[w];
+    while (auto job = job_channels[w].receive()) {
+      WorkerResult res;
+      res.worker = w;
+      res.seq = job->seq;
+      try {
+        EUGENE_FAILPOINT("live.worker.slow");
+        EUGENE_FAILPOINT("live.worker.crash");
         nn::StageOutput out = model.run_stage(job->stage, job->features);
-        WorkerResult res;
-        res.worker = w;
         res.report.task_id = static_cast<std::uint32_t>(job->task_id);
         res.report.stage = static_cast<std::uint32_t>(job->stage);
         res.report.predicted_label = static_cast<std::uint32_t>(out.predicted_label);
         res.report.confidence = out.confidence;
         res.features = std::move(out.features);
-        results.send(std::move(res));
+      } catch (const std::exception& e) {
+        res.ok = false;
+        res.error = e.what();
       }
-    });
-  }
+      const bool crashed = !res.ok;
+      results.send(std::move(res));
+      if (crashed) return;  // the "process" is gone; supervisor may respawn
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) workers.emplace_back(worker_main, w);
 
   WallClock clock;
+  Rng backoff_rng(0xbacc0ff);
+  LiveStats local_stats;
   std::vector<LiveTaskState> tasks(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     tasks[i].features = inputs[i];
     tasks[i].submit_ms = clock.now_ms();
   }
 
-  std::vector<bool> worker_busy(num_workers, false);
+  std::vector<WorkerSlot> slots(num_workers);
+  std::size_t respawns_left = config.max_respawns;
   std::size_t unfinished = inputs.size();
 
   auto expire_if_due = [&](std::size_t i) {
@@ -118,18 +169,65 @@ std::vector<LiveTaskResult> run_live(
       t.done = true;
       t.expired = true;
       t.finish_ms = clock.now_ms();
+      ++local_stats.expired;
       --unfinished;
     }
   };
 
+  // The in-flight task of worker `w` lost its stage execution (crash or
+  // silence). Re-queue it after a jittered backoff while the retry budget
+  // lasts; past the budget it completes degraded with its best result so
+  // far. Marks the worker dead either way.
+  auto fail_inflight = [&](std::size_t w) {
+    WorkerSlot& slot = slots[w];
+    slot.dead = true;
+    if (!slot.busy) return;
+    slot.busy = false;
+    LiveTaskState& t = tasks[slot.task];
+    if (t.done) return;
+    t.running = false;
+    const double now = clock.now_ms();
+    if (now - t.submit_ms >= config.deadline_ms) {
+      t.done = true;
+      t.expired = true;
+      t.finish_ms = now;
+      ++local_stats.expired;
+      --unfinished;
+    } else if (t.retries < config.max_retries) {
+      ++t.retries;
+      ++local_stats.retries;
+      t.eligible_ms = now + backoff_delay_ms(config.retry, t.retries, backoff_rng);
+    } else {
+      t.done = true;
+      t.degraded = true;
+      t.finish_ms = now;
+      ++local_stats.degraded;
+      --unfinished;
+    }
+  };
+
+  // Replaces a *crashed* worker with a fresh thread on the same (now idle)
+  // replica. Workers abandoned for silence are never respawned: their thread
+  // may still be touching the replica.
+  auto maybe_respawn = [&](std::size_t w) {
+    if (respawns_left == 0) return;
+    --respawns_left;
+    ++local_stats.respawns;
+    slots[w] = WorkerSlot{};
+    workers.emplace_back(worker_main, w);
+  };
+
+  std::uint64_t next_seq = 1;
   auto dispatch = [&]() {
     for (std::size_t w = 0; w < num_workers; ++w) {
-      if (worker_busy[w]) continue;
+      if (slots[w].busy || slots[w].dead) continue;
+      const double now = clock.now_ms();
       std::vector<TaskView> runnable;
       for (std::size_t i = 0; i < tasks.size(); ++i) {
         expire_if_due(i);
         const LiveTaskState& t = tasks[i];
         if (t.done || t.running || t.stages_done >= num_stages) continue;
+        if (now < t.eligible_ms) continue;  // still backing off
         TaskView v;
         v.task_id = i;
         v.service = 0;
@@ -141,44 +239,102 @@ std::vector<LiveTaskResult> run_live(
         runnable.push_back(v);
       }
       if (runnable.empty()) return;
-      const auto choice = policy.pick(runnable, clock.now_ms());
+      const auto choice = policy.pick(runnable, now);
       if (!choice.has_value()) return;
       LiveTaskState& t = tasks[*choice];
       t.running = true;
       Job job;
       job.task_id = *choice;
       job.stage = t.stages_done;
+      job.seq = next_seq++;
       job.features = t.features;
-      worker_busy[w] = true;
+      WorkerSlot& slot = slots[w];
+      slot.busy = true;
+      slot.seq = job.seq;
+      slot.task = *choice;
+      slot.dispatched_ms = now;
       job_channels[w].send(std::move(job));
     }
   };
 
   dispatch();
   while (unfinished > 0) {
-    // If everything left is waiting on deadlines rather than workers, poll.
+    for (std::size_t i = 0; i < tasks.size(); ++i) expire_if_due(i);
+    if (unfinished == 0) break;
+
+    // Heartbeat supervision: a busy worker silent past the timeout is
+    // abandoned — its task is re-queued and any later report from it is
+    // stale (sequence mismatch) and dropped.
+    if (std::isfinite(config.worker_timeout_ms)) {
+      const double now = clock.now_ms();
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        if (slots[w].busy && !slots[w].dead &&
+            now - slots[w].dispatched_ms >= config.worker_timeout_ms) {
+          ++local_stats.worker_timeouts;
+          EUGENE_LOG(Warn) << "live: worker " << w << " silent for "
+                           << (now - slots[w].dispatched_ms)
+                           << " ms; abandoning it and re-queueing task "
+                           << slots[w].task;
+          fail_inflight(w);
+        }
+      }
+    }
+
+    // Degrade-never-fail: with every worker dead, remaining tasks answer
+    // with what they have instead of waiting forever.
+    bool any_alive = false;
+    for (const WorkerSlot& s : slots) any_alive |= !s.dead;
+    if (!any_alive) {
+      const double now = clock.now_ms();
+      for (LiveTaskState& t : tasks) {
+        if (t.done) continue;
+        t.done = true;
+        t.degraded = true;
+        t.finish_ms = now;
+        ++local_stats.degraded;
+        --unfinished;
+      }
+      break;
+    }
+
+    dispatch();
+
     bool any_running = false;
     for (const auto& t : tasks) any_running |= t.running;
     if (!any_running) {
-      for (std::size_t i = 0; i < tasks.size(); ++i) expire_if_due(i);
-      dispatch();
-      bool still_none = true;
-      for (const auto& t : tasks) still_none &= !t.running;
-      if (still_none && unfinished > 0) {
+      if (unfinished > 0) {
+        // Everything left waits on a deadline or a backoff window: poll.
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
       }
+      break;
     }
-    if (unfinished == 0) break;
 
-    auto res = results.receive();
-    EUGENE_CHECK(res.has_value()) << "live scheduler: result channel closed early";
-    // The report crosses a (possibly named-pipe) channel boundary: validate it
-    // before indexing scheduler state with it.
+    // Bounded wait so deadline expiry and heartbeat sweeps run even when
+    // every worker has gone silent.
+    auto res = results.receive_for(5.0);
+    if (!res.has_value()) continue;
     EUGENE_CHECK_LT(res->worker, num_workers) << "stage report from unknown worker";
+    WorkerSlot& slot = slots[res->worker];
+    const bool current = slot.busy && !slot.dead && res->seq == slot.seq;
+    if (!current) continue;  // stale report from an abandoned worker
+
+    if (!res->ok) {
+      ++local_stats.worker_crashes;
+      EUGENE_LOG(Warn) << "live: worker " << res->worker
+                       << " crashed running task " << slot.task << ": "
+                       << res->error;
+      fail_inflight(res->worker);
+      maybe_respawn(res->worker);
+      dispatch();
+      continue;
+    }
+
+    // The report crosses a (possibly named-pipe) channel boundary: validate
+    // it before indexing scheduler state with it.
     EUGENE_CHECK_LT(res->report.task_id, tasks.size())
         << "stage report for unknown task";
-    worker_busy[res->worker] = false;
+    slot.busy = false;
     LiveTaskState& t = tasks[res->report.task_id];
     EUGENE_CHECK(t.running) << "stage report for task " << res->report.task_id
                             << " which has no stage in flight";
@@ -207,6 +363,7 @@ std::vector<LiveTaskResult> run_live(
         t.done = true;
         t.expired = true;
         t.finish_ms = now;
+        ++local_stats.expired;
         --unfinished;
       }
     }
@@ -217,6 +374,8 @@ std::vector<LiveTaskResult> run_live(
   for (auto& th : workers) th.join();
   results.close();
 
+  if (stats != nullptr) *stats = local_stats;
+
   std::vector<LiveTaskResult> out(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     out[i].task_id = i;
@@ -226,6 +385,8 @@ std::vector<LiveTaskResult> run_live(
                             : tasks[i].observed_confidence.back();
     out[i].stages_run = tasks[i].stages_done;
     out[i].expired = tasks[i].expired;
+    out[i].degraded = tasks[i].degraded;
+    out[i].retries = tasks[i].retries;
     out[i].latency_ms = tasks[i].finish_ms - tasks[i].submit_ms;
   }
   return out;

@@ -8,11 +8,23 @@
 //   * a running stage cannot be interrupted mid-kernel, so the latency
 //     daemon expires tasks at stage granularity: late results are discarded
 //     and the task emits the last in-deadline result.
+//
+// Fault tolerance (DESIGN.md §8): the scheduler supervises its pool. A worker
+// whose stage throws is marked dead (its thread exits, like a crashed worker
+// process); a worker silent past worker_timeout_ms is abandoned. In both
+// cases the in-flight task is re-queued to a healthy worker with bounded
+// retries and exponential backoff + jitter, and — for crashes — the pool can
+// respawn a replacement on the idle replica. A task whose retry budget runs
+// out completes *degraded*: it answers with its best in-deadline result
+// rather than failing. Chaos seams: failpoints `live.worker.crash` and
+// `live.worker.slow` fire inside the worker loop.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 
+#include "common/retry.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/policy.hpp"
@@ -24,6 +36,13 @@ struct LiveConfig {
   double deadline_ms = std::numeric_limits<double>::infinity();  ///< per task
   double early_exit_confidence = 2.0;  ///< >1 disables early exit
   std::size_t lookahead = 1;           ///< RTDeepIoT k
+
+  // Worker supervision (DESIGN.md §8 "Failure model").
+  std::size_t max_retries = 2;   ///< per-task re-dispatches after worker failure
+  double worker_timeout_ms =
+      std::numeric_limits<double>::infinity();  ///< silence → worker is dead
+  std::size_t max_respawns = 0;  ///< replacement workers spawned after crashes
+  RetryPolicy retry;             ///< backoff shape between re-dispatches
 };
 
 /// Final outcome of one live task.
@@ -33,18 +52,37 @@ struct LiveTaskResult {
   double confidence = 0.0;
   std::size_t stages_run = 0;
   bool expired = false;           ///< deadline reached before all stages
+  bool degraded = false;          ///< retry budget exhausted; best-effort answer
+  std::size_t retries = 0;        ///< re-dispatches this task consumed
   double latency_ms = 0.0;        ///< submission to final result
+};
+
+/// Fault-handling counters for one run_live call. Chaos tests reconcile
+/// these against the failpoint fire counts.
+struct LiveStats {
+  std::size_t worker_crashes = 0;   ///< stages that threw inside a worker
+  std::size_t worker_timeouts = 0;  ///< workers abandoned for silence
+  std::size_t respawns = 0;         ///< replacement workers started
+  std::size_t retries = 0;          ///< task re-dispatches
+  std::size_t degraded = 0;         ///< tasks finished on an exhausted budget
+  std::size_t expired = 0;          ///< tasks finished by the latency daemon
 };
 
 /// Runs a batch of inputs through per-worker replicas of a staged model,
 /// scheduling stage executions with RTDeepIoT's greedy utility policy.
 ///
 /// `worker_models` — one replica per worker, identical weights (use
-/// replicate_staged_model). `curves` drives the utility estimates.
+/// replicate_staged_model). `curves` drives the utility estimates. Fills
+/// `*stats` with supervision counters when non-null.
+///
+/// Robustness contract: every input receives a well-formed LiveTaskResult
+/// (complete, expired, or degraded) and no worker exception escapes, for any
+/// combination of worker crashes, stalls, and deadlines.
 std::vector<LiveTaskResult> run_live(
     std::vector<std::unique_ptr<nn::StagedModel>>& worker_models,
     const gp::ConfidenceCurveModel& curves,
-    const std::vector<tensor::Tensor>& inputs, const LiveConfig& config);
+    const std::vector<tensor::Tensor>& inputs, const LiveConfig& config,
+    LiveStats* stats = nullptr);
 
 /// Builds `count` architecture-identical replicas of `source` (constructed
 /// via `build` and weight-copied through serialization).

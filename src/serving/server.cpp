@@ -1,7 +1,11 @@
 #include "serving/server.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/clock.hpp"
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
 #include "sched/policy.hpp"
 
 namespace eugene::serving {
@@ -15,14 +19,38 @@ InferenceServer::InferenceServer(ModelEntry& entry, ServerConfig config)
                  "calibrate and fit curves before serving");
   EUGENE_REQUIRE(!config_.classes.empty(), "InferenceServer: no service classes");
   EUGENE_REQUIRE(config_.lookahead >= 1, "InferenceServer: lookahead must be >= 1");
+  EUGENE_REQUIRE(config_.shed_max_stages >= 1,
+                 "InferenceServer: shed requests need at least one stage");
+  EUGENE_REQUIRE(config_.shed_confidence <= 1.0,
+                 "InferenceServer: shed_confidence above 1 would never stop");
 }
+
+namespace {
+
+struct RequestState {
+  Tensor features;
+  std::vector<double> observed;
+  std::size_t stages_done = 0;
+  std::size_t label = 0;
+  std::size_t retries = 0;
+  bool done = false;
+  bool expired = false;
+  bool degraded = false;
+  double finish_ms = 0.0;
+};
+
+}  // namespace
 
 std::vector<InferenceResponse> InferenceServer::process_batch(
     const std::vector<InferenceRequest>& requests) {
+  // Up-front validation: reject malformed batches with typed errors before
+  // any stage runs.
   EUGENE_REQUIRE(!requests.empty(), "process_batch: empty batch");
-  for (const auto& r : requests)
+  for (const auto& r : requests) {
     EUGENE_REQUIRE(r.service_class < config_.classes.size(),
                    "process_batch: unknown service class");
+    EUGENE_REQUIRE(r.input.numel() > 0, "process_batch: empty input tensor");
+  }
 
   const std::size_t num_stages = entry_.model.num_stages();
   sched::GpUtilityEstimator estimator(entry_.curves);
@@ -32,20 +60,68 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
   for (const auto& c : config_.classes) weights.push_back(c.utility_weight);
   policy.set_service_weights(std::move(weights));
 
-  struct RequestState {
-    Tensor features;
-    std::vector<double> observed;
-    std::size_t stages_done = 0;
-    std::size_t label = 0;
-    bool done = false;
-    bool expired = false;
-    double finish_ms = 0.0;
-  };
   std::vector<RequestState> state(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) state[i].features = requests[i].input;
 
   WallClock clock;
+
+  // Runs one stage for request `i`, absorbing injected or real stage
+  // failures: a throwing stage is retried up to max_stage_retries times;
+  // past the budget the request completes degraded with its best result so
+  // far. Returns false when the request was finished by the failure path.
+  auto run_stage_guarded = [&](std::size_t i) -> bool {
+    RequestState& s = state[i];
+    for (;;) {
+      try {
+        EUGENE_FAILPOINT("serving.stage.crash");
+        const nn::StageOutput out = entry_.model.run_stage(s.stages_done, s.features);
+        ++s.stages_done;
+        s.observed.push_back(out.confidence);
+        s.label = out.predicted_label;
+        s.features = std::move(out.features);
+        return true;
+      } catch (const Error& e) {
+        ++s.retries;
+        if (s.retries > config_.max_stage_retries) {
+          EUGENE_LOG(Warn) << "serving: request " << i
+                           << " exhausted stage retries; degrading: " << e.what();
+          s.done = true;
+          s.degraded = true;
+          s.finish_ms = clock.now_ms();
+          return false;
+        }
+      }
+    }
+  };
+
+  // Admission control: everything past the capacity is shed, not rejected.
+  // A shed request answers from the earliest exit that clears
+  // shed_confidence (bounded by shed_max_stages) — the cheapest valid
+  // answer the multi-exit model can give.
+  const bool overloaded =
+      config_.admission_capacity > 0 && requests.size() > config_.admission_capacity;
   std::size_t remaining = requests.size();
+  if (overloaded) {
+    EUGENE_LOG(Warn) << "serving: batch of " << requests.size() << " exceeds "
+                     << "admission capacity " << config_.admission_capacity
+                     << "; shedding " << (requests.size() - config_.admission_capacity)
+                     << " request(s) to the earliest confident exit";
+    const std::size_t stage_budget = std::min(config_.shed_max_stages, num_stages);
+    for (std::size_t i = config_.admission_capacity; i < requests.size(); ++i) {
+      RequestState& s = state[i];
+      while (!s.done && s.stages_done < stage_budget) {
+        if (!run_stage_guarded(i)) break;
+        if (s.observed.back() >= config_.shed_confidence) break;
+      }
+      if (!s.done) {
+        s.done = true;
+        s.degraded = true;
+        s.finish_ms = clock.now_ms();
+      }
+      --remaining;
+    }
+  }
+
   auto deadline_of = [&](std::size_t i) {
     return config_.classes[requests[i].service_class].deadline_ms;
   };
@@ -83,13 +159,13 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     EUGENE_CHECK(choice.has_value()) << "process_batch: policy returned no task";
 
     RequestState& s = state[*choice];
-    const nn::StageOutput out = entry_.model.run_stage(s.stages_done, s.features);
-    ++s.stages_done;
-    s.observed.push_back(out.confidence);
-    s.label = out.predicted_label;
-    s.features = std::move(out.features);
-    policy.on_stage_complete(*choice, s.stages_done - 1, out.confidence);
-    if (s.stages_done == num_stages || out.confidence >= config_.early_exit_confidence) {
+    if (!run_stage_guarded(*choice)) {
+      --remaining;
+      continue;
+    }
+    policy.on_stage_complete(*choice, s.stages_done - 1, s.observed.back());
+    if (s.stages_done == num_stages ||
+        s.observed.back() >= config_.early_exit_confidence) {
       s.done = true;
       s.finish_ms = clock.now_ms();
       --remaining;
@@ -102,6 +178,8 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     responses[i].confidence = state[i].observed.empty() ? 0.0 : state[i].observed.back();
     responses[i].stages_run = state[i].stages_done;
     responses[i].expired = state[i].expired;
+    responses[i].degraded = state[i].degraded;
+    responses[i].retries = state[i].retries;
     responses[i].latency_ms = state[i].finish_ms;
   }
   return responses;

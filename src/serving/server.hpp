@@ -6,7 +6,17 @@
 // Includes the paper's §V extension: multiple *service classes* with
 // distinct deadlines and utility weights (an interactive chatbot vs a
 // tolerant surveillance camera).
+//
+// Robustness contract (DESIGN.md §8): process_batch always returns one
+// well-formed response per request — complete, expired, or *degraded* —
+// and never lets a stage exception escape. Overload is handled by an
+// admission controller that sheds excess requests to the earliest confident
+// exit (the imprecise-computation answer: a degraded-but-valid result beats
+// a rejection); a stage that throws is retried a bounded number of times
+// before the request degrades.
 #pragma once
+
+#include <limits>
 
 #include "serving/registry.hpp"
 
@@ -31,6 +41,8 @@ struct InferenceResponse {
   double confidence = 0.0;
   std::size_t stages_run = 0;
   bool expired = false;    ///< deadline hit before full/confident completion
+  bool degraded = false;   ///< shed under overload or stage-failure budget spent
+  std::size_t retries = 0; ///< stage re-executions consumed by faults
   double latency_ms = 0.0;
 };
 
@@ -39,6 +51,12 @@ struct ServerConfig {
   std::vector<ServiceClassConfig> classes = {{}};
   double early_exit_confidence = 0.92;  ///< skip remaining stages above this
   std::size_t lookahead = 1;            ///< RTDeepIoT k
+
+  // Graceful degradation (DESIGN.md §8 "Failure model").
+  std::size_t admission_capacity = 0;   ///< >0: requests beyond this are shed
+  double shed_confidence = 0.0;         ///< shed requests stop at this confidence
+  std::size_t shed_max_stages = 1;      ///< stage budget for a shed request
+  std::size_t max_stage_retries = 2;    ///< re-runs of a throwing stage per request
 };
 
 /// Schedules a batch of concurrent requests over one model instance,
@@ -50,7 +68,9 @@ class InferenceServer {
   /// `entry` must be calibrated (curves fitted) and must outlive the server.
   InferenceServer(ModelEntry& entry, ServerConfig config);
 
-  /// Processes all requests as one concurrent batch.
+  /// Processes all requests as one concurrent batch. Requests admitted past
+  /// admission_capacity are shed: they answer from the earliest confident
+  /// exit and come back flagged degraded=true instead of being rejected.
   std::vector<InferenceResponse> process_batch(const std::vector<InferenceRequest>& requests);
 
   const ServerConfig& config() const { return config_; }

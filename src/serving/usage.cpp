@@ -33,8 +33,12 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
     for (std::size_t s = 0; s < responses[i].stages_run; ++s)
       u.compute_ms += costs_.stage_ms[s];
     u.expired += responses[i].expired ? 1 : 0;
-    u.early_exits +=
-        (!responses[i].expired && responses[i].stages_run < model_num_stages) ? 1 : 0;
+    u.shed += responses[i].degraded ? 1 : 0;
+    u.retries += responses[i].retries;
+    u.early_exits += (!responses[i].expired && !responses[i].degraded &&
+                      responses[i].stages_run < model_num_stages)
+                         ? 1
+                         : 0;
   }
 }
 

@@ -18,7 +18,9 @@
 
 namespace eugene::serving {
 
-/// Accumulated per-class resource usage.
+/// Accumulated per-class resource usage. The shed/retries/expired trio is
+/// the per-class fault ledger (DESIGN.md §8): chaos tests reconcile these
+/// against injected fault counts.
 struct ClassUsage {
   std::string class_name;
   std::size_t requests = 0;
@@ -26,6 +28,8 @@ struct ClassUsage {
   double compute_ms = 0.0;   ///< Σ profiled stage costs actually spent
   std::size_t expired = 0;
   std::size_t early_exits = 0;
+  std::size_t shed = 0;      ///< degraded responses (overload or fault budget)
+  std::size_t retries = 0;   ///< stage re-executions consumed by faults
 
   double mean_stages() const {
     return requests == 0 ? 0.0
