@@ -1,11 +1,19 @@
 // Google-benchmark microbenchmarks for Eugene's hot paths: tensor kernels,
 // staged-model inference, GP vs piecewise-linear confidence queries,
-// scheduler pick overhead, and channel throughput.
+// scheduler pick overhead, channel throughput, and checkpoint durability
+// (CRC32 throughput, v2 save/load, the atomic-write tax).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
 #include "common/channel.hpp"
+#include "common/crc32.hpp"
 #include "common/failpoint.hpp"
 #include "gp/confidence_curve.hpp"
+#include "nn/serialize.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/policy.hpp"
 #include "tensor/ops.hpp"
@@ -145,6 +153,71 @@ void BM_ChannelSendReceive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelSendReceive);
+
+// ---- durability (DESIGN.md §9) --------------------------------------------
+
+// The integrity tax on every checkpoint byte: raw CRC32 throughput.
+void BM_Crc32(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(n);
+  Rng rng(6);
+  for (auto& b : data)
+    b = static_cast<std::uint8_t>(rng.uniform(0.0, 255.0));
+  for (auto _ : state) benchmark::DoNotOptimize(crc32(data.data(), data.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+nn::StagedModel bench_checkpoint_model() {
+  nn::StagedResNetConfig cfg;  // default: the quickstart architecture
+  return nn::build_staged_resnet(cfg);
+}
+
+// v2 checkpoint encode: body serialization + CRC, no disk. The delta
+// against BM_Crc32 at the same byte count is the pure framing cost.
+void BM_CheckpointSaveV2(benchmark::State& state) {
+  nn::StagedModel model = bench_checkpoint_model();
+  const auto params = model.params();
+  const std::size_t bytes = nn::serialized_size_bytes(params);
+  for (auto _ : state) {
+    std::ostringstream out(std::ios::binary);
+    nn::save_params(params, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_CheckpointSaveV2);
+
+// v2 checkpoint decode: magic/version/length validation, chunked body read,
+// CRC verification, and the shape-checked copy into live tensors.
+void BM_CheckpointLoadV2(benchmark::State& state) {
+  nn::StagedModel model = bench_checkpoint_model();
+  const auto params = model.params();
+  std::ostringstream out(std::ios::binary);
+  nn::save_params(params, out);
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes, std::ios::binary);
+    nn::load_params(params, in);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_CheckpointLoadV2);
+
+// Full durable round trip through the atomic writer: temp file + fsync +
+// rename. The gap against BM_CheckpointSaveV2 is what crash safety costs.
+void BM_CheckpointSaveFileAtomic(benchmark::State& state) {
+  nn::StagedModel model = bench_checkpoint_model();
+  const auto params = model.params();
+  const std::string path =
+      "/tmp/eugene_bench_ckpt_" + std::to_string(::getpid()) + ".params";
+  for (auto _ : state) nn::save_params_file(params, path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * nn::serialized_size_bytes(params)));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointSaveFileAtomic);
 
 }  // namespace
 

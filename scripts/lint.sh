@@ -74,7 +74,7 @@ if grep -rnE --include='*.cpp' --include='*.hpp' '(^|[^_[:alnum:]])throw[[:space
   | grep -v '^src/common/error.hpp' \
   | sed 's%//.*%%' \
   | grep -E '(^|[^_[:alnum:]])throw +[[:alnum:]_:]' \
-  | grep -vE 'throw +(::)?(eugene::)?(Error|InvalidArgument|InternalError|TransportError|FailpointError)[({]'; then
+  | grep -vE 'throw +(::)?(eugene::)?(Error|InvalidArgument|InternalError|TransportError|FailpointError|CorruptionError|IoError)[({]'; then
   fail "throw of a non-eugene::Error type in src/ (use the taxonomy in common/error.hpp)"
 fi
 

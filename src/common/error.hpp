@@ -38,6 +38,23 @@ class TransportError : public Error {
   explicit TransportError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when durable state read back from disk fails validation: bad
+/// magic, unsupported format version, truncation, or a CRC mismatch
+/// (DESIGN.md §9 "Durability model"). Recoverable by the caller: fall back
+/// to an older snapshot or rebuild the artifact — never load garbage.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when the operating system refuses a filesystem operation (open,
+/// write, fsync, rename) on a durability path. Distinct from
+/// CorruptionError: the data is fine, the environment is not.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 template <typename E>

@@ -111,4 +111,14 @@ serving::InferenceResponse EugeneService::infer(std::size_t handle, const Tensor
   return infer_batch(handle, {request}, config).front();
 }
 
+std::uint64_t EugeneService::snapshot(const std::string& dir) {
+  return serving::save_snapshot(registry_, dir);
+}
+
+std::size_t EugeneService::restore(const std::string& dir,
+                                   const serving::ModelFactory& factory) {
+  const auto result = serving::restore_snapshot(registry_, dir, factory);
+  return result.has_value() ? result->models_restored : 0;
+}
+
 }  // namespace eugene::core

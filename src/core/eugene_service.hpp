@@ -17,6 +17,7 @@
 #include "profile/timing.hpp"
 #include "reduce/cache.hpp"
 #include "serving/server.hpp"
+#include "serving/snapshot.hpp"
 
 namespace eugene::core {
 
@@ -84,6 +85,18 @@ class EugeneService {
   /// Single-input convenience wrapper (default service class, no deadline).
   serving::InferenceResponse infer(std::size_t handle, const tensor::Tensor& input,
                                    double early_exit_confidence = 0.92);
+
+  // ---- durability (DESIGN.md §9) ------------------------------------------
+  /// Snapshots every registered model — weights, confidence curves, stage
+  /// costs, calibration α — crash-consistently under `dir`; returns the
+  /// committed epoch. See serving/snapshot.hpp.
+  std::uint64_t snapshot(const std::string& dir);
+
+  /// Warm restart: restores every model from `dir`'s last committed
+  /// snapshot (the factory rebuilds each architecture by name), so a fresh
+  /// process serves without retraining, recalibrating, or reprofiling.
+  /// Returns the number of models restored (0 when no snapshot exists).
+  std::size_t restore(const std::string& dir, const serving::ModelFactory& factory);
 
   serving::ModelRegistry& registry() { return registry_; }
 

@@ -49,6 +49,29 @@ void ConfidenceCurveModel::fit(const calib::StagedEvaluation& train_eval,
   }
 }
 
+void ConfidenceCurveModel::restore(std::size_t num_stages,
+                                   std::vector<PiecewiseLinear> approximations,
+                                   std::vector<double> priors) {
+  EUGENE_REQUIRE(num_stages >= 2, "ConfidenceCurveModel::restore: need >= 2 stages");
+  const std::size_t num_pairs = num_stages * (num_stages - 1) / 2;
+  EUGENE_REQUIRE(approximations.size() == num_pairs,
+                 "ConfidenceCurveModel::restore: approximation count mismatch");
+  EUGENE_REQUIRE(priors.size() == num_stages,
+                 "ConfidenceCurveModel::restore: prior count mismatch");
+  for (const auto& a : approximations)
+    EUGENE_REQUIRE(!a.empty(), "ConfidenceCurveModel::restore: empty approximation");
+  num_stages_ = num_stages;
+  approximations_ = std::move(approximations);
+  priors_ = std::move(priors);
+  gps_.clear();  // exact GPs are not persisted; has_exact_gp() goes false
+}
+
+const PiecewiseLinear& ConfidenceCurveModel::approximation(std::size_t from_stage,
+                                                           std::size_t to_stage) const {
+  EUGENE_REQUIRE(fitted(), "ConfidenceCurveModel::approximation before fit/restore");
+  return approximations_[pair_index(from_stage, to_stage)];
+}
+
 double ConfidenceCurveModel::predict(std::size_t from_stage, std::size_t to_stage,
                                      double confidence) const {
   EUGENE_REQUIRE(fitted(), "ConfidenceCurveModel::predict before fit");
@@ -59,6 +82,9 @@ double ConfidenceCurveModel::predict(std::size_t from_stage, std::size_t to_stag
 GpPrediction ConfidenceCurveModel::predict_gp(std::size_t from_stage, std::size_t to_stage,
                                               double confidence) const {
   EUGENE_REQUIRE(fitted(), "ConfidenceCurveModel::predict_gp before fit");
+  EUGENE_REQUIRE(has_exact_gp(),
+                 "ConfidenceCurveModel::predict_gp: exact GPs were not restored from "
+                 "the snapshot; refit to use the slow path");
   return gps_[pair_index(from_stage, to_stage)].predict(confidence);
 }
 

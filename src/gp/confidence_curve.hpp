@@ -33,6 +33,25 @@ class ConfidenceCurveModel {
   std::size_t num_stages() const { return num_stages_; }
   bool fitted() const { return num_stages_ > 0; }
 
+  /// True when the exact GPs are in memory (after fit()). A model restored
+  /// from a snapshot keeps only the piecewise-linear profiles and priors —
+  /// everything the serving path queries — so predict_gp/evaluate are
+  /// unavailable until the next fit().
+  bool has_exact_gp() const { return !gps_.empty(); }
+
+  /// Rebuilds the serving-path state from snapshotted artifacts: the
+  /// piecewise-linear profile per ordered stage pair (pair_index order) and
+  /// the per-stage cold-start priors. Validates counts and non-emptiness;
+  /// throws eugene::InvalidArgument on mismatch.
+  void restore(std::size_t num_stages, std::vector<PiecewiseLinear> approximations,
+               std::vector<double> priors);
+
+  /// The piecewise-linear profile for (from → to); what a snapshot persists.
+  const PiecewiseLinear& approximation(std::size_t from_stage, std::size_t to_stage) const;
+
+  /// Per-stage cold-start priors (parallel to stages).
+  const std::vector<double>& priors() const { return priors_; }
+
   /// Fast path: piecewise-linear approximation of GP(from→to).
   double predict(std::size_t from_stage, std::size_t to_stage, double confidence) const;
 

@@ -30,6 +30,8 @@ class PiecewiseLinear {
   bool empty() const { return knots_.empty(); }
   std::size_t segments() const { return knots_.empty() ? 0 : knots_.size() - 1; }
   const std::vector<double>& knot_values() const { return knots_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
  private:
   std::vector<double> knots_;

@@ -4,6 +4,17 @@
 // serializes it, and the client deserializes into an identically built
 // architecture ("caching appropriately trained neural network models",
 // paper §I/§II-B).
+//
+// Checkpoint format v2 (DESIGN.md §9 "Durability model"):
+//
+//   [magic "EUG2" u32][version u32][body length u64][body][crc32(body) u32]
+//
+// where body = tensor count + per tensor rank, shape, raw floats (the v1
+// layout). The CRC footer turns bit flips and torn writes into typed
+// eugene::CorruptionError; the version field lets future formats fail with
+// a typed error instead of misparsing. load_params also reads legacy v1
+// streams (magic "EUG1", no checksum) so checkpoints written before v2
+// keep loading.
 #pragma once
 
 #include <iosfwd>
@@ -14,19 +25,23 @@
 
 namespace eugene::nn {
 
-/// Writes all parameters to a stream: magic, tensor count, then per tensor
-/// rank + shape + raw floats.
+/// Writes all parameters to a stream in checkpoint format v2.
 void save_params(const std::vector<ParamRef>& params, std::ostream& out);
 
-/// Reads parameters saved by save_params into an architecture with exactly
-/// matching shapes. Throws eugene::InvalidArgument on any mismatch.
+/// Reads parameters saved by save_params (v2 or legacy v1) into an
+/// architecture with exactly matching shapes. Throws eugene::CorruptionError
+/// on a damaged stream (bad magic, future version, truncation, CRC mismatch)
+/// and eugene::InvalidArgument when the stream is intact but the
+/// architecture does not match.
 void load_params(const std::vector<ParamRef>& params, std::istream& in);
 
-/// Convenience file wrappers.
+/// File wrappers. save_params_file writes atomically (temp + fsync +
+/// rename via common/io), so a crash mid-save never destroys a previous
+/// checkpoint at the same path.
 void save_params_file(const std::vector<ParamRef>& params, const std::string& path);
 void load_params_file(const std::vector<ParamRef>& params, const std::string& path);
 
-/// Total serialized size in bytes (used by the caching policy to reason
+/// Total serialized (v2) size in bytes (used by the caching policy to reason
 /// about download cost).
 std::size_t serialized_size_bytes(const std::vector<ParamRef>& params);
 

@@ -1,0 +1,62 @@
+// Crash-safe snapshot/restore of the model registry (DESIGN.md §9).
+//
+// Eugene's value proposition is cached intelligence: trained weights,
+// fitted confidence curves, profiled stage costs, and chosen calibration α
+// (paper §II-B/§II-C/§II-D). A server crash must not turn those back into
+// hours of retraining — so the registry can be snapshotted to a directory
+// and restored after a kill -9:
+//
+//   snapshot layout (epoch N):
+//     MANIFEST                     commit point: versioned CRC blob naming
+//                                  every artifact file of epoch N
+//     model-<i>.params.<N>         checkpoint v2 weights (nn/serialize)
+//     model-<i>.artifacts.<N>      curves + costs + α + calibrated flag
+//
+// Every file is written through io::atomic_write_file; the MANIFEST rename
+// is the atomic commit. A crash anywhere before that rename leaves the
+// previous MANIFEST — and the previous epoch's files, which are only
+// garbage-collected *after* a successful commit — fully intact, so restore
+// falls back to the last good snapshot. Corrupt state surfaces as typed
+// eugene::CorruptionError, never garbage weights or a hang.
+//
+// Failpoint seam: snapshot.manifest.crash fires between artifact writes and
+// the MANIFEST commit (the recovery chaos suite kills the writer there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serving/registry.hpp"
+
+namespace eugene::serving {
+
+/// Rebuilds the (untrained) architecture for a named model during restore;
+/// the snapshot then fills its weights and artifacts. Restore cannot guess
+/// architectures from bytes alone — the caller knows how its models were
+/// built, exactly like load_params expects a matching architecture.
+using ModelFactory = std::function<nn::StagedModel(const std::string& name)>;
+
+/// What restore_snapshot recovered.
+struct RestoreResult {
+  std::size_t models_restored = 0;
+  std::uint64_t epoch = 0;  ///< the committed snapshot epoch that was loaded
+};
+
+/// Writes a crash-consistent snapshot of every registry entry under `dir`
+/// (created if missing) and returns the committed epoch. Previous-epoch
+/// files are deleted only after the new MANIFEST is committed.
+std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
+
+/// Restores every model named by `dir`'s committed MANIFEST into `registry`
+/// (via ModelRegistry::add — a name collision with an existing entry throws
+/// InvalidArgument). Returns std::nullopt when the directory holds no
+/// committed snapshot; throws CorruptionError when it holds a damaged one.
+/// On failure the registry may already hold the entries restored before the
+/// corrupt one — restore into a fresh registry and discard it on error.
+std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
+                                              const std::string& dir,
+                                              const ModelFactory& factory);
+
+}  // namespace eugene::serving

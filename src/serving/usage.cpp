@@ -1,8 +1,38 @@
 #include "serving/usage.hpp"
 
 #include "common/check.hpp"
+#include "common/crc32.hpp"
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
 
 namespace eugene::serving {
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4A475545;  // "EUGJ"
+constexpr std::uint32_t kJournalVersion = 1;
+
+/// One journal frame: the per-class deltas of a single record() batch.
+std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta) {
+  io::ByteWriter w;
+  std::uint64_t touched = 0;
+  for (const auto& d : delta) touched += d.requests > 0 ? 1 : 0;
+  w.u64(touched);
+  for (std::size_t c = 0; c < delta.size(); ++c) {
+    const ClassUsage& d = delta[c];
+    if (d.requests == 0) continue;
+    w.u32(static_cast<std::uint32_t>(c));
+    w.u64(d.requests);
+    w.u64(d.stages_executed);
+    w.f64(d.compute_ms);
+    w.u64(d.expired);
+    w.u64(d.early_exits);
+    w.u64(d.shed);
+    w.u64(d.retries);
+  }
+  return w.take();
+}
+
+}  // namespace
 
 UsageMeter::UsageMeter(sched::StageCostModel costs, std::vector<std::string> class_names)
     : costs_(std::move(costs)) {
@@ -21,13 +51,16 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
   EUGENE_REQUIRE(model_num_stages <= costs_.num_stages(),
                  "UsageMeter::record: cost model covers fewer stages than the model");
   MutexLock lock(mutex_);
+  // Accumulate the batch into a delta first: the journal persists exactly
+  // what this call added, so replay reproduces the ledger frame by frame.
+  std::vector<ClassUsage> delta(usage_.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     EUGENE_REQUIRE(requests[i].service_class < usage_.size(),
                    "UsageMeter::record: unknown service class");
     // A response can never claim more stages than the model has.
     EUGENE_CHECK_LE(responses[i].stages_run, model_num_stages)
         << "UsageMeter::record: response claims impossible stage count";
-    ClassUsage& u = usage_[requests[i].service_class];
+    ClassUsage& u = delta[requests[i].service_class];
     ++u.requests;
     u.stages_executed += responses[i].stages_run;
     for (std::size_t s = 0; s < responses[i].stages_run; ++s)
@@ -40,6 +73,120 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
                          ? 1
                          : 0;
   }
+  for (std::size_t c = 0; c < usage_.size(); ++c) {
+    ClassUsage& u = usage_[c];
+    const ClassUsage& d = delta[c];
+    u.requests += d.requests;
+    u.stages_executed += d.stages_executed;
+    u.compute_ms += d.compute_ms;
+    u.expired += d.expired;
+    u.early_exits += d.early_exits;
+    u.shed += d.shed;
+    u.retries += d.retries;
+  }
+  if (journal_.is_open()) append_frame_locked(delta);
+}
+
+void UsageMeter::open_journal(const std::string& path) {
+  MutexLock lock(mutex_);
+  const bool fresh = !io::file_exists(path);
+  journal_.open(path, std::ios::binary | std::ios::app);
+  if (!journal_.is_open()) throw IoError("UsageMeter: cannot open journal " + path);
+  if (fresh) {
+    const std::uint32_t header[2] = {kJournalMagic, kJournalVersion};
+    journal_.write(reinterpret_cast<const char*>(header), sizeof(header));
+    journal_.flush();
+  }
+}
+
+void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta) {
+  const std::vector<std::uint8_t> payload = encode_frame(delta);
+  io::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.data(), payload.size()));
+  frame.raw(payload.data(), payload.size());
+  const std::vector<std::uint8_t>& bytes = frame.buffer();
+
+  if (EUGENE_FAILPOINT_FIRED("usage.journal.torn")) {
+    // Simulated kill -9 mid-append: half the frame reaches the file and the
+    // writer dies. Replay must keep every earlier frame and stop here.
+    journal_.write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size() / 2));
+    journal_.flush();
+    journal_.close();
+    throw FailpointError("usage.journal.torn: simulated crash mid-append");
+  }
+
+  journal_.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+  journal_.flush();
+  EUGENE_CHECK(journal_.good()) << "UsageMeter: journal append failed";
+}
+
+JournalReplay UsageMeter::replay_journal(const std::string& path) {
+  JournalReplay result;
+  if (!io::file_exists(path)) return result;
+  const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
+  if (bytes.size() < 8) {
+    // A crash immediately after creating the journal can leave a partial
+    // header; that is a torn tail with zero committed frames.
+    result.truncated = !bytes.empty();
+    return result;
+  }
+  io::ByteReader header(bytes.data(), 8, "usage journal");
+  if (header.u32() != kJournalMagic)
+    throw CorruptionError("usage journal " + path + ": bad magic");
+  const std::uint32_t version = header.u32();
+  if (version == 0 || version > kJournalVersion)
+    throw CorruptionError("usage journal " + path + ": unsupported version " +
+                          std::to_string(version));
+
+  MutexLock lock(mutex_);
+  std::size_t pos = 8;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {  // torn frame header
+      result.truncated = true;
+      break;
+    }
+    io::ByteReader fh(bytes.data() + pos, 8, "usage journal frame");
+    const std::uint32_t len = fh.u32();
+    const std::uint32_t stored_crc = fh.u32();
+    if (bytes.size() - pos - 8 < len) {  // torn payload
+      result.truncated = true;
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != stored_crc) {
+      // A bad checksum on the last bytes of the file is the torn-tail
+      // signature; anywhere else it is real corruption.
+      if (pos + 8 + len == bytes.size()) {
+        result.truncated = true;
+        break;
+      }
+      throw CorruptionError("usage journal " + path + ": CRC mismatch mid-file");
+    }
+    io::ByteReader r(payload, len, "usage journal frame");
+    const std::uint64_t touched = r.u64();
+    for (std::uint64_t t = 0; t < touched; ++t) {
+      const std::uint32_t c = r.u32();
+      if (c >= usage_.size())
+        throw CorruptionError("usage journal " + path + ": frame names class " +
+                              std::to_string(c) + " but meter has " +
+                              std::to_string(usage_.size()));
+      ClassUsage& u = usage_[c];
+      u.requests += r.u64();
+      u.stages_executed += r.u64();
+      u.compute_ms += r.f64();
+      u.expired += r.u64();
+      u.early_exits += r.u64();
+      u.shed += r.u64();
+      u.retries += r.u64();
+    }
+    r.expect_exhausted();
+    pos += 8 + len;
+    ++result.frames;
+  }
+  return result;
 }
 
 std::vector<ClassUsage> UsageMeter::usage() const {

@@ -9,6 +9,7 @@
 // an itemized cost report.
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -44,9 +45,23 @@ struct PricingPolicy {
   double per_request = 0.05;
 };
 
+/// Outcome of replaying a usage journal (DESIGN.md §9): how many batch
+/// frames were applied, and whether the file ended in a torn tail (the
+/// normal signature of a crash mid-append — replay stops there, keeping
+/// every fully committed frame).
+struct JournalReplay {
+  std::size_t frames = 0;
+  bool truncated = false;
+};
+
 /// Meters batches against a model's profiled stage costs. Thread-safe: many
 /// serving threads may record() batches concurrently while a billing thread
 /// reads usage() or charge().
+///
+/// Durability: open_journal() attaches an append-only, CRC-framed journal;
+/// each record() call appends one delta frame and flushes it, so after a
+/// kill -9 a fresh meter rebuilds the billing ledger with replay_journal().
+/// Failpoint seam: usage.journal.torn cuts a frame short mid-append.
 class UsageMeter {
  public:
   /// `costs` is the model's profiled per-stage execution time; `classes`
@@ -57,6 +72,17 @@ class UsageMeter {
   void record(const std::vector<InferenceRequest>& requests,
               const std::vector<InferenceResponse>& responses,
               std::size_t model_num_stages) EUGENE_EXCLUDES(mutex_);
+
+  /// Attaches the append-only journal at `path` (created with a versioned
+  /// header if new). Throws IoError when the file cannot be opened.
+  void open_journal(const std::string& path) EUGENE_EXCLUDES(mutex_);
+
+  /// Replays a journal written by open_journal()/record() into the
+  /// accumulators. Stops cleanly at a torn tail frame (crash mid-append);
+  /// throws CorruptionError when the file is not a journal, has a future
+  /// version, or a committed frame is semantically invalid. A missing file
+  /// replays zero frames.
+  JournalReplay replay_journal(const std::string& path) EUGENE_EXCLUDES(mutex_);
 
   /// Consistent snapshot of the per-class accumulators.
   std::vector<ClassUsage> usage() const EUGENE_EXCLUDES(mutex_);
@@ -74,9 +100,13 @@ class UsageMeter {
                        const PricingPolicy& pricing) const
       EUGENE_REQUIRES(mutex_);
 
+  void append_frame_locked(const std::vector<ClassUsage>& delta)
+      EUGENE_REQUIRES(mutex_);
+
   sched::StageCostModel costs_;  ///< immutable after construction
   mutable Mutex mutex_;
   std::vector<ClassUsage> usage_ EUGENE_GUARDED_BY(mutex_);
+  std::ofstream journal_ EUGENE_GUARDED_BY(mutex_);
 };
 
 }  // namespace eugene::serving

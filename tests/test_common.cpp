@@ -11,6 +11,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/fifo_channel.hpp"
+#include "common/io.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -330,6 +331,90 @@ TEST(StageReport, EncodeDecodeRoundTrip) {
 TEST(StageReport, DecodeRejectsWrongSize) {
   EXPECT_FALSE(StageReport::decode(std::vector<std::uint8_t>(15)).has_value());
   EXPECT_FALSE(StageReport::decode({}).has_value());
+}
+
+// ---- durable-state primitives (common/io, DESIGN.md §9) -------------------
+
+std::string io_tmp_path(const std::string& tag) {
+  return "/tmp/eugene_test_io_" + tag + "_" + std::to_string(::getpid());
+}
+
+TEST(Io, AtomicWriteReplacesWholeFileOrNothing) {
+  const std::string path = io_tmp_path("atomic");
+  const std::vector<std::uint8_t> first = {1, 2, 3, 4};
+  io::atomic_write_file(path, first);
+  EXPECT_EQ(io::read_file_bytes(path), first);
+  const std::vector<std::uint8_t> second = {9, 8, 7};
+  io::atomic_write_file(path, second);
+  EXPECT_EQ(io::read_file_bytes(path), second);
+  EXPECT_FALSE(io::file_exists(path + ".tmp"));  // temp renamed away
+  std::remove(path.c_str());
+}
+
+TEST(Io, ReadMissingFileThrowsIoError) {
+  EXPECT_THROW(io::read_file_bytes(io_tmp_path("missing")), IoError);
+  EXPECT_FALSE(io::file_exists(io_tmp_path("missing")));
+}
+
+TEST(Io, ByteWriterReaderRoundTrip) {
+  io::ByteWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  w.u64(1ull << 40);
+  w.f64(3.25);
+  w.str("eugene");
+  w.f64_vec({1.0, 2.0, 3.0});
+
+  io::ByteReader r(w.buffer(), "test");
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 1ull << 40);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "eugene");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_NO_THROW(r.expect_exhausted());
+}
+
+TEST(Io, ByteReaderOverReadThrowsCorruption) {
+  io::ByteWriter w;
+  w.u32(5);
+  io::ByteReader r(w.buffer(), "test");
+  EXPECT_THROW(r.u64(), CorruptionError);
+
+  // A length prefix that exceeds the payload must throw, not allocate.
+  io::ByteWriter lying;
+  lying.u64(1ull << 62);
+  io::ByteReader r2(lying.buffer(), "test");
+  EXPECT_THROW(r2.f64_vec(), CorruptionError);
+
+  io::ByteReader r3(w.buffer(), "test");
+  r3.u32();
+  EXPECT_NO_THROW(r3.expect_exhausted());
+}
+
+TEST(Io, BlobRoundTripAndValidation) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30, 40, 50};
+  const std::vector<std::uint8_t> bytes = io::encode_blob(0xAABBCCDD, 1, payload);
+  const io::Blob blob = io::decode_blob(bytes, 0xAABBCCDD, 1, "test blob");
+  EXPECT_EQ(blob.version, 1u);
+  EXPECT_EQ(blob.payload, payload);
+
+  // Wrong magic.
+  EXPECT_THROW(io::decode_blob(bytes, 0x11111111, 1, "t"), CorruptionError);
+  // Future version.
+  const auto future = io::encode_blob(0xAABBCCDD, 2, payload);
+  EXPECT_THROW(io::decode_blob(future, 0xAABBCCDD, 1, "t"), CorruptionError);
+  // Truncation at every prefix length must throw, never crash.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + n);
+    EXPECT_THROW(io::decode_blob(cut, 0xAABBCCDD, 1, "t"), CorruptionError) << n;
+  }
+  // Any single bit flip in the payload or footer must be detected.
+  for (std::size_t i = 16; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[i] ^= 0x01;
+    EXPECT_THROW(io::decode_blob(flipped, 0xAABBCCDD, 1, "t"), CorruptionError) << i;
+  }
 }
 
 TEST(FifoChannel, FramesCrossARealNamedPipe) {
