@@ -89,7 +89,10 @@ class EugeneService {
   // ---- durability (DESIGN.md §9) ------------------------------------------
   /// Snapshots every registered model — weights, confidence curves, stage
   /// costs, calibration α — crash-consistently under `dir`; returns the
-  /// committed epoch. See serving/snapshot.hpp.
+  /// committed epoch. Model state is read unsynchronized: do not snapshot
+  /// while train()/profile()/calibrate() is mutating a registered model
+  /// (see serving/snapshot.hpp). Concurrent inference is fine — serving
+  /// never mutates entries.
   std::uint64_t snapshot(const std::string& dir);
 
   /// Warm restart: restores every model from `dir`'s last committed

@@ -50,6 +50,13 @@ Manifest decode_manifest(const std::vector<std::uint8_t>& payload) {
   Manifest m;
   m.epoch = r.u64();
   const std::uint64_t count = r.u64();
+  // Each entry is three length-prefixed strings, ≥ 24 bytes of prefixes
+  // alone — a count the payload cannot possibly hold is corruption that
+  // slipped past the CRC (or tampering), not a big snapshot; reject it
+  // typed instead of letting resize() throw length_error/bad_alloc.
+  if (count > r.remaining() / 24)
+    throw CorruptionError("snapshot manifest: model count " + std::to_string(count) +
+                          " exceeds payload capacity");
   m.models.resize(count);
   for (auto& e : m.models) {
     e.name = r.str();
@@ -126,6 +133,21 @@ void decode_artifacts(const std::vector<std::uint8_t>& payload, ModelEntry& entr
   entry.costs.jitter_fraction = r.f64();
   entry.calibration_alpha = r.f64_vec();
   r.expect_exhausted();
+  // Costs and α are per-stage vectors when present (empty = never profiled /
+  // calibrated). Any other length means the params and artifacts files come
+  // from different snapshots — fail here, typed, instead of restoring
+  // successfully and dying confusingly at serving time.
+  const std::size_t stages = entry.model.num_stages();
+  if (!entry.costs.stage_ms.empty() && entry.costs.stage_ms.size() != stages)
+    throw CorruptionError(what + ": stage cost count " +
+                          std::to_string(entry.costs.stage_ms.size()) +
+                          " does not match model (" + std::to_string(stages) +
+                          "); mixed-snapshot artifacts");
+  if (!entry.calibration_alpha.empty() && entry.calibration_alpha.size() != stages)
+    throw CorruptionError(what + ": calibration alpha count " +
+                          std::to_string(entry.calibration_alpha.size()) +
+                          " does not match model (" + std::to_string(stages) +
+                          "); mixed-snapshot artifacts");
   entry.calibrated = calibrated;
 }
 

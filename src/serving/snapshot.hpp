@@ -47,6 +47,12 @@ struct RestoreResult {
 /// Writes a crash-consistent snapshot of every registry entry under `dir`
 /// (created if missing) and returns the committed epoch. Previous-epoch
 /// files are deleted only after the new MANIFEST is committed.
+///
+/// Concurrency: entry contents (weights, curves, costs, α) are read without
+/// synchronization — ModelRegistry guards the entry table, not the entries.
+/// Callers must quiesce mutation of the snapshotted entries (train/profile/
+/// calibrate) for the duration; snapshotting concurrently with mutation is a
+/// data race and can commit a torn-in-memory (though CRC-valid) snapshot.
 std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
 
 /// Restores every model named by `dir`'s committed MANIFEST into `registry`

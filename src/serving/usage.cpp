@@ -1,5 +1,12 @@
 #include "serving/usage.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/crc32.hpp"
 #include "common/failpoint.hpp"
@@ -30,6 +37,78 @@ std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta) {
     w.u64(d.retries);
   }
   return w.take();
+}
+
+/// Result of walking a journal image frame by frame.
+struct JournalScan {
+  std::size_t committed = 0;  ///< header + fully committed frames, in bytes
+  bool truncated = false;     ///< the file ends in a torn tail
+  /// (payload, length) views into the scanned bytes, one per committed frame.
+  std::vector<std::pair<const std::uint8_t*, std::uint32_t>> frames;
+};
+
+/// Walks `bytes` as a journal. Damage at the very end of the file — a short
+/// header, a short payload, or a bad CRC on the final frame — is the
+/// torn-tail signature of a crash mid-append and sets `truncated`; the same
+/// damage mid-file, a bad magic, or a future version throws CorruptionError.
+/// `committed` is the only prefix a writer may safely append after.
+JournalScan scan_journal(const std::vector<std::uint8_t>& bytes,
+                         const std::string& path) {
+  JournalScan scan;
+  if (bytes.size() < 8) {
+    // A crash immediately after creating the journal can leave a partial
+    // header; that is a torn tail with zero committed frames.
+    scan.truncated = !bytes.empty();
+    return scan;
+  }
+  io::ByteReader header(bytes.data(), 8, "usage journal");
+  if (header.u32() != kJournalMagic)
+    throw CorruptionError("usage journal " + path + ": bad magic");
+  const std::uint32_t version = header.u32();
+  if (version == 0 || version > kJournalVersion)
+    throw CorruptionError("usage journal " + path + ": unsupported version " +
+                          std::to_string(version));
+  scan.committed = 8;
+  while (scan.committed < bytes.size()) {
+    const std::size_t pos = scan.committed;
+    if (bytes.size() - pos < 8) {  // torn frame header
+      scan.truncated = true;
+      break;
+    }
+    io::ByteReader fh(bytes.data() + pos, 8, "usage journal frame");
+    const std::uint32_t len = fh.u32();
+    const std::uint32_t stored_crc = fh.u32();
+    if (bytes.size() - pos - 8 < len) {  // torn payload
+      scan.truncated = true;
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != stored_crc) {
+      // A bad checksum on the last bytes of the file is the torn-tail
+      // signature; anywhere else it is real corruption.
+      if (pos + 8 + len == bytes.size()) {
+        scan.truncated = true;
+        break;
+      }
+      throw CorruptionError("usage journal " + path + ": CRC mismatch mid-file");
+    }
+    scan.frames.emplace_back(payload, len);
+    scan.committed = pos + 8 + len;
+  }
+  return scan;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("UsageMeter: journal write: " +
+                    std::string(std::strerror(errno)));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
 }
 
 }  // namespace
@@ -84,19 +163,47 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
     u.shed += d.shed;
     u.retries += d.retries;
   }
-  if (journal_.is_open()) append_frame_locked(delta);
+  if (journal_fd_ >= 0) append_frame_locked(delta);
+}
+
+UsageMeter::~UsageMeter() {
+  MutexLock lock(mutex_);
+  if (journal_fd_ >= 0) ::close(journal_fd_);
 }
 
 void UsageMeter::open_journal(const std::string& path) {
   MutexLock lock(mutex_);
-  const bool fresh = !io::file_exists(path);
-  journal_.open(path, std::ios::binary | std::ios::app);
-  if (!journal_.is_open()) throw IoError("UsageMeter: cannot open journal " + path);
-  if (fresh) {
-    const std::uint32_t header[2] = {kJournalMagic, kJournalVersion};
-    journal_.write(reinterpret_cast<const char*>(header), sizeof(header));
-    journal_.flush();
+  // Reopening after a crash mid-append must not append after a torn tail:
+  // every later replay would then meet the garbage *mid-file* and throw,
+  // losing the ledger for good. Scan exactly like replay_journal and cut the
+  // file back to its committed prefix first.
+  std::size_t committed = 0;
+  std::size_t on_disk = 0;
+  if (io::file_exists(path)) {
+    const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
+    on_disk = bytes.size();
+    committed = scan_journal(bytes, path).committed;
   }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0)
+    throw IoError("UsageMeter: cannot open journal " + path + ": " +
+                  std::strerror(errno));
+  if (committed < on_disk && ::ftruncate(fd, static_cast<off_t>(committed)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw IoError("UsageMeter: cannot truncate torn journal " + path + ": " +
+                  std::strerror(saved));
+  }
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+  journal_fd_ = fd;
+  if (committed < 8) {  // brand-new file, or a header the crash tore
+    const std::uint32_t header[2] = {kJournalMagic, kJournalVersion};
+    write_all(journal_fd_, reinterpret_cast<const std::uint8_t*>(header),
+              sizeof(header));
+  }
+  if (::fsync(journal_fd_) != 0)
+    throw IoError("UsageMeter: fsync journal " + path + ": " +
+                  std::strerror(errno));
 }
 
 void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta) {
@@ -110,61 +217,28 @@ void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta) {
   if (EUGENE_FAILPOINT_FIRED("usage.journal.torn")) {
     // Simulated kill -9 mid-append: half the frame reaches the file and the
     // writer dies. Replay must keep every earlier frame and stop here.
-    journal_.write(reinterpret_cast<const char*>(bytes.data()),
-                   static_cast<std::streamsize>(bytes.size() / 2));
-    journal_.flush();
-    journal_.close();
+    write_all(journal_fd_, bytes.data(), bytes.size() / 2);
+    ::close(journal_fd_);
+    journal_fd_ = -1;
     throw FailpointError("usage.journal.torn: simulated crash mid-append");
   }
 
-  journal_.write(reinterpret_cast<const char*>(bytes.data()),
-                 static_cast<std::streamsize>(bytes.size()));
-  journal_.flush();
-  EUGENE_CHECK(journal_.good()) << "UsageMeter: journal append failed";
+  write_all(journal_fd_, bytes.data(), bytes.size());
+  // fsync per frame: a committed frame survives power loss, not just a
+  // process kill — the same guarantee the snapshot path gives.
+  if (::fsync(journal_fd_) != 0)
+    throw IoError("UsageMeter: fsync journal append: " +
+                  std::string(std::strerror(errno)));
 }
 
 JournalReplay UsageMeter::replay_journal(const std::string& path) {
   JournalReplay result;
   if (!io::file_exists(path)) return result;
   const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
-  if (bytes.size() < 8) {
-    // A crash immediately after creating the journal can leave a partial
-    // header; that is a torn tail with zero committed frames.
-    result.truncated = !bytes.empty();
-    return result;
-  }
-  io::ByteReader header(bytes.data(), 8, "usage journal");
-  if (header.u32() != kJournalMagic)
-    throw CorruptionError("usage journal " + path + ": bad magic");
-  const std::uint32_t version = header.u32();
-  if (version == 0 || version > kJournalVersion)
-    throw CorruptionError("usage journal " + path + ": unsupported version " +
-                          std::to_string(version));
 
   MutexLock lock(mutex_);
-  std::size_t pos = 8;
-  while (pos < bytes.size()) {
-    if (bytes.size() - pos < 8) {  // torn frame header
-      result.truncated = true;
-      break;
-    }
-    io::ByteReader fh(bytes.data() + pos, 8, "usage journal frame");
-    const std::uint32_t len = fh.u32();
-    const std::uint32_t stored_crc = fh.u32();
-    if (bytes.size() - pos - 8 < len) {  // torn payload
-      result.truncated = true;
-      break;
-    }
-    const std::uint8_t* payload = bytes.data() + pos + 8;
-    if (crc32(payload, len) != stored_crc) {
-      // A bad checksum on the last bytes of the file is the torn-tail
-      // signature; anywhere else it is real corruption.
-      if (pos + 8 + len == bytes.size()) {
-        result.truncated = true;
-        break;
-      }
-      throw CorruptionError("usage journal " + path + ": CRC mismatch mid-file");
-    }
+  const JournalScan scan = scan_journal(bytes, path);
+  for (const auto& [payload, len] : scan.frames) {
     io::ByteReader r(payload, len, "usage journal frame");
     const std::uint64_t touched = r.u64();
     for (std::uint64_t t = 0; t < touched; ++t) {
@@ -183,9 +257,9 @@ JournalReplay UsageMeter::replay_journal(const std::string& path) {
       u.retries += r.u64();
     }
     r.expect_exhausted();
-    pos += 8 + len;
     ++result.frames;
   }
+  result.truncated = scan.truncated;
   return result;
 }
 

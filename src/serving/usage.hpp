@@ -9,7 +9,6 @@
 // an itemized cost report.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -59,8 +58,11 @@ struct JournalReplay {
 /// reads usage() or charge().
 ///
 /// Durability: open_journal() attaches an append-only, CRC-framed journal;
-/// each record() call appends one delta frame and flushes it, so after a
-/// kill -9 a fresh meter rebuilds the billing ledger with replay_journal().
+/// each record() call appends one delta frame and fsyncs it, so committed
+/// frames survive power loss — not just kill -9 — and a fresh meter rebuilds
+/// the billing ledger with replay_journal(). Reopening an existing journal
+/// truncates any torn tail left by a crash mid-append, so the recovery cycle
+/// (replay, reopen, record) can repeat across any number of crashes.
 /// Failpoint seam: usage.journal.torn cuts a frame short mid-append.
 class UsageMeter {
  public:
@@ -68,13 +70,21 @@ class UsageMeter {
   /// names the service classes (parallel to ServerConfig::classes).
   UsageMeter(sched::StageCostModel costs, std::vector<std::string> class_names);
 
+  ~UsageMeter();
+  UsageMeter(const UsageMeter&) = delete;
+  UsageMeter& operator=(const UsageMeter&) = delete;
+
   /// Records one processed batch.
   void record(const std::vector<InferenceRequest>& requests,
               const std::vector<InferenceResponse>& responses,
               std::size_t model_num_stages) EUGENE_EXCLUDES(mutex_);
 
   /// Attaches the append-only journal at `path` (created with a versioned
-  /// header if new). Throws IoError when the file cannot be opened.
+  /// header if new). An existing journal is scanned first and truncated to
+  /// its last committed frame, so appends after a crash mid-append land on a
+  /// clean frame boundary instead of after torn garbage. Throws IoError when
+  /// the file cannot be opened or truncated, CorruptionError when it is not
+  /// a journal (bad magic, future version, mid-file damage).
   void open_journal(const std::string& path) EUGENE_EXCLUDES(mutex_);
 
   /// Replays a journal written by open_journal()/record() into the
@@ -106,7 +116,7 @@ class UsageMeter {
   sched::StageCostModel costs_;  ///< immutable after construction
   mutable Mutex mutex_;
   std::vector<ClassUsage> usage_ EUGENE_GUARDED_BY(mutex_);
-  std::ofstream journal_ EUGENE_GUARDED_BY(mutex_);
+  int journal_fd_ EUGENE_GUARDED_BY(mutex_) = -1;  ///< -1 when detached
 };
 
 }  // namespace eugene::serving

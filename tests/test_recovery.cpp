@@ -386,6 +386,68 @@ TEST(Recovery, UsageJournalTornTailKeepsCommittedFrames) {
   EXPECT_EQ(recovered.usage()[0].stages_executed, 2u);
 }
 
+TEST(Recovery, UsageJournalReopenAfterCrashTruncatesTornTail) {
+  // Regression: the documented recovery flow (replay, reopen, record) used
+  // to append fresh frames *after* the torn tail, so every later replay hit
+  // a CRC mismatch mid-file and threw — permanently losing the ledger.
+  FailpointGuard guard;
+  TempDir dir("jreopen");
+  std::error_code ec;
+  fs::create_directory(dir.path, ec);
+  const std::string journal = dir.path + "/usage.journal";
+
+  serving::UsageMeter meter(journal_costs(), {"only"});
+  meter.open_journal(journal);
+  meter.record({{tensor::Tensor::zeros({1}), 0}}, {fake_response(2, false, false, 0)},
+               kStages);
+  FailpointRegistry::instance().arm("usage.journal.torn", FailpointSpec{});
+  EXPECT_THROW(meter.record({{tensor::Tensor::zeros({1}), 0}},
+                            {fake_response(1, false, false, 0)}, kStages),
+               FailpointError);
+  FailpointRegistry::instance().disarm_all();
+
+  // "Restarted process": replay, reopen (cutting the torn tail), record on.
+  serving::UsageMeter recovered(journal_costs(), {"only"});
+  EXPECT_EQ(recovered.replay_journal(journal).frames, 1u);
+  recovered.open_journal(journal);
+  recovered.record({{tensor::Tensor::zeros({1}), 0}},
+                   {fake_response(1, false, false, 0)}, kStages);
+
+  // Every subsequent restart replays the whole ledger cleanly.
+  serving::UsageMeter final_meter(journal_costs(), {"only"});
+  const serving::JournalReplay replay = final_meter.replay_journal(journal);
+  EXPECT_EQ(replay.frames, 2u);
+  EXPECT_FALSE(replay.truncated);
+  EXPECT_EQ(final_meter.usage()[0].requests, 2u);
+  EXPECT_EQ(final_meter.usage()[0].stages_executed, 3u);
+}
+
+TEST(Recovery, UsageJournalReopenAfterPartialHeaderStartsFresh) {
+  // A crash between journal creation and the header write leaves a 0-byte
+  // (or shorter-than-header) file; reopening must rewrite the header, not
+  // append after the stump and poison every later replay.
+  FailpointGuard guard;
+  TempDir dir("jstub");
+  std::error_code ec;
+  fs::create_directory(dir.path, ec);
+  for (const std::vector<std::uint8_t>& stump :
+       {std::vector<std::uint8_t>{}, std::vector<std::uint8_t>{0x45, 0x55, 0x47}}) {
+    const std::string journal = dir.path + "/usage.journal";
+    io::atomic_write_file(journal, stump);
+
+    serving::UsageMeter meter(journal_costs(), {"only"});
+    meter.open_journal(journal);
+    meter.record({{tensor::Tensor::zeros({1}), 0}},
+                 {fake_response(2, false, false, 0)}, kStages);
+
+    serving::UsageMeter recovered(journal_costs(), {"only"});
+    const serving::JournalReplay replay = recovered.replay_journal(journal);
+    EXPECT_EQ(replay.frames, 1u) << "stump size " << stump.size();
+    EXPECT_FALSE(replay.truncated) << "stump size " << stump.size();
+    fs::remove(journal, ec);
+  }
+}
+
 TEST(Recovery, UsageJournalRejectsForeignFile) {
   FailpointGuard guard;
   TempDir dir("jbad");
@@ -397,8 +459,52 @@ TEST(Recovery, UsageJournalRejectsForeignFile) {
 
   serving::UsageMeter meter(journal_costs(), {"only"});
   EXPECT_THROW(meter.replay_journal(journal), CorruptionError);
+  // open_journal refuses to append to a non-journal, too.
+  EXPECT_THROW(meter.open_journal(journal), CorruptionError);
   // A missing journal is a cold start, not an error.
   EXPECT_EQ(meter.replay_journal(dir.path + "/absent.journal").frames, 0u);
+}
+
+// ---- adversarial snapshot payloads ------------------------------------------
+
+TEST(Recovery, ManifestWithImplausibleModelCountThrowsTyped) {
+  // A CRC-valid (tampered or colliding) manifest claiming 2^40 models must
+  // surface as CorruptionError, not std::length_error/bad_alloc from resize.
+  FailpointGuard guard;
+  TempDir dir("mcount");
+  std::error_code ec;
+  fs::create_directory(dir.path, ec);
+  io::ByteWriter w;
+  w.u64(1);                        // epoch
+  w.u64(std::uint64_t{1} << 40);   // model count far beyond the payload
+  io::write_blob_file(dir.path + "/MANIFEST", 0x4D475545u /* "EUGM" */, 1u,
+                      w.take());
+
+  serving::ModelRegistry registry;
+  EXPECT_THROW(serving::restore_snapshot(registry, dir.path, tiny_factory()),
+               CorruptionError);
+}
+
+TEST(Recovery, MixedSnapshotArtifactVectorsThrowTyped) {
+  // Per-stage cost/α vectors whose length disagrees with the model are the
+  // mixed-snapshot signature: restore must fail typed at load time, not
+  // later at serving time with an error far from the cause.
+  for (const bool bad_alpha : {false, true}) {
+    FailpointGuard guard;
+    TempDir dir(bad_alpha ? "mixalpha" : "mixcost");
+    serving::ModelRegistry registry;
+    add_calibrated_model(registry, "model", 1);
+    if (bad_alpha)
+      registry.entry(0).calibration_alpha = {0.1, 0.2, 0.3};  // 3-stage α
+    else
+      registry.entry(0).costs.stage_ms = {1.0, 2.0, 3.0};  // 3-stage costs
+    serving::save_snapshot(registry, dir.path);
+
+    serving::ModelRegistry restored;
+    EXPECT_THROW(serving::restore_snapshot(restored, dir.path, tiny_factory()),
+                 CorruptionError)
+        << (bad_alpha ? "alpha" : "costs");
+  }
 }
 
 // ---- environment-armed chaos (CI's kill-mid-checkpoint job) ---------------
