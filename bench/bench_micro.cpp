@@ -7,11 +7,13 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <mutex>
 #include <sstream>
 
 #include "common/channel.hpp"
 #include "common/crc32.hpp"
 #include "common/failpoint.hpp"
+#include "common/thread_annotations.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/serialize.hpp"
 #include "nn/staged_model.hpp"
@@ -153,6 +155,32 @@ void BM_ChannelSendReceive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelSendReceive);
+
+// ---- lock-rank checker (DESIGN.md §10) ------------------------------------
+
+// The zero-overhead claim for the deadlock-order analysis: in builds with
+// EUGENE_LOCK_RANK_CHECKS=0 (the Release preset) eugene::Mutex::lock() must
+// compile down to std::mutex::lock() — compare against BM_StdMutexLock below.
+// In checked builds the delta is the per-thread held-stack bookkeeping, which
+// is the price every non-Release preset pays for inversion detection.
+void BM_MutexRankedLock(benchmark::State& state) {
+  Mutex mu(LockRank::kChannel, "bench_mutex");
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_MutexRankedLock);
+
+// Baseline: the raw standard-library mutex the wrapper is built on.
+void BM_StdMutexLock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLock);
 
 // ---- durability (DESIGN.md §9) --------------------------------------------
 

@@ -1,0 +1,27 @@
+// Fuzz harness: FIFO transport frame parsing (common/fifo_channel).
+//
+// Typed-error contract (DESIGN.md §10): an arbitrary byte stream fed to the
+// wire-format decoder yields whole frames or a typed TransportError — a torn
+// header, an oversized length prefix, a truncated payload, and a CRC
+// mismatch are all *expected* outcomes. Decoded payloads then flow through
+// StageReport::decode, which must accept or reject (nullopt) without UB.
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/fifo_channel.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  // The live transport's default is 64 MiB; fuzz with a small cap so a
+  // hostile length prefix is exercised without giant allocations dominating.
+  constexpr std::size_t kMaxFrameBytes = 1u << 20;
+  try {
+    const auto frames = eugene::fifo_wire::decode_stream(data, size, kMaxFrameBytes);
+    for (const auto& payload : frames) {
+      // Well-framed payloads must decode or be rejected cleanly, never UB.
+      (void)eugene::StageReport::decode(payload);
+    }
+  } catch (const eugene::TransportError&) {
+    // damaged stream, rejected typed — the contract holding
+  }
+  return 0;
+}

@@ -1,0 +1,439 @@
+#!/usr/bin/env python3
+"""Project invariant checker (DESIGN.md §10 "Analysis & verification").
+
+Enforces the repo-wide contracts that grep one-liners used to approximate:
+
+  raw-mutex           no std::mutex / std::lock_guard / std::unique_lock /
+                      std::scoped_lock in src/ outside the annotated wrapper
+                      (common/thread_annotations.hpp) — otherwise Clang's
+                      -Wthread-safety and the lock-rank checker are blind.
+  unranked-mutex      every eugene::Mutex constructed in src/ names an
+                      explicit LockRank (see common/lock_rank.hpp) so the
+                      deadlock-order analysis covers the whole lock graph.
+  throw-taxonomy      everything thrown from src/ derives from eugene::Error
+                      (DESIGN.md §8) so fault paths catch one taxonomy.
+  file-write          no file writes in src/ bypass the common/io atomic
+                      writer (temp + fsync + rename is the only durable
+                      commit primitive; DESIGN.md §9).
+  failpoint-registry  the set of EUGENE_FAILPOINT / EUGENE_FAILPOINT_FIRED
+                      string literals in src/ equals the registry in
+                      common/failpoint_names.hpp, both directions, so chaos
+                      jobs can never silently arm a renamed site.
+  naked-new           ownership goes through containers / make_unique.
+  using-namespace     no `using namespace std` in headers.
+  stdout              the library logs via EUGENE_LOG, not std::cout.
+
+Justified exceptions live in scripts/invariant_allowlist.json, keyed by rule
+and file with a required human reason; entries that no longer suppress
+anything are reported as stale (so the allowlist cannot rot).
+
+Usage: scripts/check_invariants.py [--repo-root DIR] [--list-rules]
+Exit status: 0 clean, 1 violations or stale allowlist entries, 2 bad usage.
+
+stdlib-only on purpose: this must run in CI and in bare containers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CXX_EXTS = {".cpp", ".hpp"}
+
+
+# ---------------------------------------------------------------------------
+# C++-aware text preparation
+# ---------------------------------------------------------------------------
+
+def strip_comments(text: str) -> str:
+    """Replace // and /* */ comment bodies with spaces, preserving newlines
+    (so line numbers survive) and string/char literals (so "http://x" is not
+    mangled)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\" and nxt:
+                out.append(c)
+                out.append(nxt if nxt == "\n" else nxt)
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def mask_strings(code: str) -> str:
+    """On comment-stripped text, blank out string/char literal *contents*
+    (quotes stay) so rules never match inside messages."""
+    out = []
+    i, n = 0, len(code)
+    state = "code"
+    while i < n:
+        c = code[i]
+        nxt = code[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        else:
+            quote = '"' if state == "str" else "'"
+            if c == "\\" and nxt:
+                out.append("  " if nxt != "\n" else " \n")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, repo_root: Path, path: Path):
+        self.path = path
+        self.rel = path.relative_to(repo_root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments(text)          # comments gone, strings kept
+        self.masked = mask_strings(self.code)     # strings blanked too
+        self.code_lines = self.code.splitlines()
+        self.masked_lines = self.masked.splitlines()
+
+
+class Violation:
+    def __init__(self, rule: str, rel: str, line: int, message: str):
+        self.rule = rule
+        self.rel = rel
+        self.line = line
+        self.message = message
+
+    def key(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each takes the file list and yields Violations.
+# ---------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b")
+
+
+def rule_raw_mutex(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            m = RAW_MUTEX_RE.search(line)
+            if m:
+                yield Violation(
+                    "raw-mutex", f.rel, ln,
+                    f"std::{m.group(1)} bypasses eugene::Mutex "
+                    "(common/thread_annotations.hpp) — thread-safety analysis "
+                    "and lock-rank checking cannot see it")
+
+
+# A Mutex *declaration with an identifier* (not MutexLock, not `Mutex&` params,
+# not the class definition, not constructor calls).
+MUTEX_DECL_RE = re.compile(r"(?<![\w:])Mutex\s+([A-Za-z_]\w*)\s*([;{(])")
+
+
+def rule_unranked_mutex(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for m in MUTEX_DECL_RE.finditer(f.masked):
+            name, opener = m.group(1), m.group(2)
+            line = f.masked.count("\n", 0, m.start()) + 1
+            if opener == ";":
+                yield Violation(
+                    "unranked-mutex", f.rel, line,
+                    f"Mutex {name} constructed without a LockRank "
+                    "(see common/lock_rank.hpp rank registry)")
+                continue
+            # Statement runs to the matching `;` — LockRank:: must appear.
+            stmt_end = f.masked.find(";", m.end())
+            stmt = f.masked[m.start():stmt_end if stmt_end != -1 else None]
+            if "LockRank::" not in stmt:
+                yield Violation(
+                    "unranked-mutex", f.rel, line,
+                    f"Mutex {name} constructed without a LockRank "
+                    "(see common/lock_rank.hpp rank registry)")
+
+
+THROW_RE = re.compile(r"(?<![\w_])throw\s+([A-Za-z_0-9][\w:]*)")
+ALLOWED_THROWN = re.compile(
+    r"^(::)?(eugene::)?(Error|InvalidArgument|InternalError|TransportError|"
+    r"FailpointError|CorruptionError|IoError)$")
+
+
+def rule_throw_taxonomy(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for m in THROW_RE.finditer(f.masked):
+            thrown = m.group(1)
+            if ALLOWED_THROWN.match(thrown):
+                continue
+            line = f.masked.count("\n", 0, m.start()) + 1
+            yield Violation(
+                "throw-taxonomy", f.rel, line,
+                f"throw of `{thrown}` — everything thrown from src/ must "
+                "derive from eugene::Error (common/error.hpp, DESIGN.md §8)")
+
+
+WRITE_FLAGS_RE = re.compile(r"O_WRONLY|O_RDWR|O_CREAT|O_TRUNC|O_APPEND")
+FILE_WRITE_RES = [
+    (re.compile(r"std::ofstream|std::fstream\b"), "std::ofstream"),
+    (re.compile(r"(?<![\w_])fopen\s*\("), "fopen"),
+]
+
+
+def rule_file_write(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            for pat, what in FILE_WRITE_RES:
+                if pat.search(line):
+                    yield Violation(
+                        "file-write", f.rel, ln,
+                        f"{what} in src/ — durable writes must go through "
+                        "common/io atomic_write_file (DESIGN.md §9)")
+            if re.search(r"(?<![\w_])(::)?open\s*\(", line) and \
+                    WRITE_FLAGS_RE.search(line):
+                yield Violation(
+                    "file-write", f.rel, ln,
+                    "::open with write flags in src/ — durable writes must go "
+                    "through common/io atomic_write_file (DESIGN.md §9)")
+
+
+FAILPOINT_USE_RE = re.compile(r'EUGENE_FAILPOINT(?:_FIRED)?\s*\(\s*"([^"]+)"')
+REGISTRY_NAME_RE = re.compile(r'"([^"]+)"')
+
+
+def rule_failpoint_registry(files, repo_root: Path):
+    registry_rel = "src/common/failpoint_names.hpp"
+    registry_path = repo_root / registry_rel
+    if not registry_path.exists():
+        yield Violation("failpoint-registry", registry_rel, 1,
+                        "registry header missing")
+        return
+    reg_code = strip_comments(
+        registry_path.read_text(encoding="utf-8", errors="replace"))
+    declared = set(REGISTRY_NAME_RE.findall(reg_code))
+
+    used = {}  # name -> (rel, line)
+    for f in files:
+        if not f.rel.startswith("src/") or f.rel == registry_rel:
+            continue
+        for m in FAILPOINT_USE_RE.finditer(f.code):
+            line = f.code.count("\n", 0, m.start()) + 1
+            used.setdefault(m.group(1), (f.rel, line))
+
+    for name in sorted(set(used) - declared):
+        rel, line = used[name]
+        yield Violation(
+            "failpoint-registry", rel, line,
+            f'failpoint "{name}" used but not declared in {registry_rel}')
+    for name in sorted(declared - set(used)):
+        yield Violation(
+            "failpoint-registry", registry_rel, 1,
+            f'failpoint "{name}" declared but no EUGENE_FAILPOINT site in '
+            "src/ uses it (delete it here and from any CI spec arming it)")
+
+
+NAKED_NEW_RE = re.compile(r"(^|[^\w_\.\"])new\s+[A-Za-z_:<]")
+
+
+def rule_naked_new(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            if NAKED_NEW_RE.search(line):
+                if ln <= len(f.raw_lines) and "NOLINT-new" in f.raw_lines[ln - 1]:
+                    continue
+                yield Violation(
+                    "naked-new", f.rel, ln,
+                    "naked `new` — use std::make_unique / containers "
+                    "(allowlist genuinely placed uses)")
+
+
+def rule_using_namespace(files):
+    for f in files:
+        if not (f.rel.startswith("src/") and f.rel.endswith(".hpp")):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            if re.search(r"using\s+namespace\s+std\b", line):
+                yield Violation(
+                    "using-namespace", f.rel, ln,
+                    "`using namespace std` in a header pollutes every "
+                    "includer")
+
+
+def rule_stdout(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            if "std::cout" in line:
+                yield Violation(
+                    "stdout", f.rel, ln,
+                    "std::cout in src/ — use EUGENE_LOG "
+                    "(common/logging.hpp); stdout belongs to examples/bench")
+
+
+RULES = {
+    "raw-mutex": rule_raw_mutex,
+    "unranked-mutex": rule_unranked_mutex,
+    "throw-taxonomy": rule_throw_taxonomy,
+    "file-write": rule_file_write,
+    "failpoint-registry": rule_failpoint_registry,
+    "naked-new": rule_naked_new,
+    "using-namespace": rule_using_namespace,
+    "stdout": rule_stdout,
+}
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+def load_allowlist(path: Path):
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    for i, e in enumerate(entries):
+        for field in ("rule", "file", "reason"):
+            if field not in e:
+                raise SystemExit(
+                    f"{path}: entry {i} missing required field '{field}'")
+        if e["rule"] not in RULES:
+            raise SystemExit(
+                f"{path}: entry {i} names unknown rule '{e['rule']}' "
+                f"(known: {', '.join(sorted(RULES))})")
+        e["_hits"] = 0
+    return entries
+
+
+def allowed(entries, v: Violation, line_text: str) -> bool:
+    for e in entries:
+        if e["rule"] != v.rule or e["file"] != v.rel:
+            continue
+        if "contains" in e and e["contains"] not in line_text:
+            continue
+        e["_hits"] += 1
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo-root", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+
+    repo_root = args.repo_root.resolve()
+    if not (repo_root / "src").is_dir():
+        print(f"check_invariants: no src/ under {repo_root}", file=sys.stderr)
+        return 2
+
+    files = []
+    for sub in ("src",):
+        for p in sorted((repo_root / sub).rglob("*")):
+            if p.suffix in CXX_EXTS and p.is_file():
+                files.append(SourceFile(repo_root, p))
+
+    entries = load_allowlist(repo_root / "scripts" / "invariant_allowlist.json")
+
+    violations = []
+    for name, rule in RULES.items():
+        produced = (rule(files, repo_root) if name == "failpoint-registry"
+                    else rule(files))
+        for v in produced:
+            src = next((f for f in files if f.rel == v.rel), None)
+            line_text = ""
+            if src and 1 <= v.line <= len(src.code_lines):
+                line_text = src.code_lines[v.line - 1].strip()
+            if not allowed(entries, v, line_text):
+                violations.append((v, line_text))
+
+    for v, line_text in sorted(violations, key=lambda t: t[0].key()):
+        print(f"INVARIANT FAIL: {v.key()}")
+        if line_text:
+            print(f"    {line_text}")
+
+    stale = [e for e in entries if e["_hits"] == 0]
+    for e in stale:
+        print("STALE ALLOWLIST ENTRY: "
+              f"[{e['rule']}] {e['file']}"
+              + (f" (contains: {e['contains']!r})" if "contains" in e else "")
+              + " no longer suppresses anything — delete it "
+              f"(reason was: {e['reason']})")
+
+    n_checked = len(files)
+    if violations or stale:
+        print(f"\ncheck_invariants: {len(violations)} violation(s), "
+              f"{len(stale)} stale allowlist entr(y/ies) "
+              f"across {n_checked} files", file=sys.stderr)
+        return 1
+    print(f"check_invariants: OK ({n_checked} files, "
+          f"{len(RULES)} rules, {len(entries)} allowlisted exceptions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,7 +86,7 @@ class Channel {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kChannel, "Channel::mutex_"};
   CondVar cv_;
   std::deque<T> items_ EUGENE_GUARDED_BY(mutex_);
   bool closed_ EUGENE_GUARDED_BY(mutex_) = false;

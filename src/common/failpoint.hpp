@@ -128,7 +128,9 @@ class FailpointRegistry {
   /// sleep, kind kError means throw) or false when dormant.
   bool draw_locked(Armed& a) EUGENE_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  // kFailpointRegistry ranks near the leaves: EUGENE_FAILPOINT sites fire
+  // inside locked regions (e.g. the usage journal appends under kUsageMeter).
+  mutable Mutex mutex_{LockRank::kFailpointRegistry, "FailpointRegistry::mutex_"};
   std::vector<Armed> armed_ EUGENE_GUARDED_BY(mutex_);
 };
 

@@ -1,0 +1,29 @@
+// Central registry of every failpoint site name in src/.
+//
+// Failpoints are armed by *string* — from tests, CI job matrices, and the
+// EUGENE_FAILPOINTS environment variable — so a renamed or deleted site
+// silently turns a chaos job into a no-op. This header is the single source
+// of truth: scripts/check_invariants.py (rule `failpoint-registry`) verifies
+// that the set of EUGENE_FAILPOINT / EUGENE_FAILPOINT_FIRED literals in src/
+// equals this list, both directions. Adding a site means adding it here;
+// removing one means deleting it here (and from any CI spec that arms it).
+//
+// Naming convention: `<subsystem>.<object>.<fault>`, all lower-case.
+#pragma once
+
+namespace eugene::failpoint_names {
+
+inline constexpr const char* kAll[] = {
+    "fifo.write.corrupt",       // FifoWriter: flip a frame byte post-CRC
+    "fifo.write.torn",          // FifoWriter: drop the second half of a frame
+    "io.atomic.corrupt",        // atomic_write_file: commit with one bit flipped
+    "io.atomic.short",          // atomic_write_file: commit missing tail bytes
+    "io.atomic.torn",           // atomic_write_file: crash before the rename
+    "live.worker.crash",        // live scheduler: worker stage throws
+    "live.worker.slow",         // live scheduler: worker stage stalls
+    "serving.stage.crash",      // serving front door: stage execution throws
+    "snapshot.manifest.crash",  // snapshot: die between artifacts and commit
+    "usage.journal.torn",       // usage journal: kill -9 mid-append
+};
+
+}  // namespace eugene::failpoint_names

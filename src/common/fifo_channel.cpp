@@ -17,7 +17,7 @@
 namespace eugene {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc32
+constexpr std::size_t kHeaderBytes = fifo_wire::kHeaderBytes;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -64,6 +64,51 @@ void make_fifo(const std::string& path, bool* created) {
 }
 
 }  // namespace
+
+namespace fifo_wire {
+
+FrameHeader parse_frame_header(const std::uint8_t* header,
+                               std::size_t max_frame_bytes) {
+  FrameHeader h;
+  h.payload_len = get_u32(header);
+  h.crc = get_u32(header + 4);
+  if (h.payload_len > max_frame_bytes)
+    throw TransportError("FifoReader: frame length " + std::to_string(h.payload_len) +
+                         " exceeds max_frame_bytes (corrupt length prefix?)");
+  return h;
+}
+
+void verify_frame_crc(const std::uint8_t* payload, std::size_t n,
+                      std::uint32_t expected_crc) {
+  if (crc32(payload, n) != expected_crc)
+    throw TransportError("FifoReader: CRC mismatch (frame corrupted in transit)");
+}
+
+std::vector<std::vector<std::uint8_t>> decode_stream(const std::uint8_t* data,
+                                                     std::size_t size,
+                                                     std::size_t max_frame_bytes) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < kHeaderBytes)
+      throw TransportError("FifoReader: writer died mid-header (" +
+                           std::to_string(size - pos) + " of " +
+                           std::to_string(kHeaderBytes) + " bytes)");
+    const FrameHeader h = parse_frame_header(data + pos, max_frame_bytes);
+    pos += kHeaderBytes;
+    if (size - pos < h.payload_len)
+      throw TransportError("FifoReader: truncated frame (" +
+                           std::to_string(size - pos) + " of " +
+                           std::to_string(h.payload_len) +
+                           " payload bytes before EOF)");
+    verify_frame_crc(data + pos, h.payload_len, h.crc);
+    frames.emplace_back(data + pos, data + pos + h.payload_len);
+    pos += h.payload_len;
+  }
+  return frames;
+}
+
+}  // namespace fifo_wire
 
 FifoWriter::FifoWriter(const std::string& path, FifoOptions options)
     : options_(options) {
@@ -185,22 +230,17 @@ std::optional<std::vector<std::uint8_t>> FifoReader::read_frame() {
     throw TransportError("FifoReader: writer died mid-header (" +
                          std::to_string(header_got) + " of " +
                          std::to_string(kHeaderBytes) + " bytes)");
-  const std::uint32_t len = get_u32(header);
-  const std::uint32_t expected_crc = get_u32(header + 4);
-  if (len > options_.max_frame_bytes)
-    throw TransportError("FifoReader: frame length " + std::to_string(len) +
-                         " exceeds max_frame_bytes (corrupt length prefix?)");
-  std::vector<std::uint8_t> payload(len);
-  if (len > 0) {
-    const std::size_t got = read_upto(payload.data(), len);
-    if (got < len)
+  const fifo_wire::FrameHeader h =
+      fifo_wire::parse_frame_header(header, options_.max_frame_bytes);
+  std::vector<std::uint8_t> payload(h.payload_len);
+  if (h.payload_len > 0) {
+    const std::size_t got = read_upto(payload.data(), h.payload_len);
+    if (got < h.payload_len)
       throw TransportError("FifoReader: truncated frame (" + std::to_string(got) +
-                           " of " + std::to_string(len) +
+                           " of " + std::to_string(h.payload_len) +
                            " payload bytes before EOF)");
   }
-  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
-  if (actual_crc != expected_crc)
-    throw TransportError("FifoReader: CRC mismatch (frame corrupted in transit)");
+  fifo_wire::verify_frame_crc(payload.data(), payload.size(), h.crc);
   return payload;
 }
 

@@ -61,7 +61,8 @@ class FifoWriter {
 
  private:
   FifoOptions options_;
-  Mutex io_mutex_;               ///< serializes whole frames onto the pipe
+  /// Serializes whole frames onto the pipe.
+  Mutex io_mutex_{LockRank::kFifo, "FifoWriter::io_mutex_"};
   int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
 };
 
@@ -96,10 +97,43 @@ class FifoReader {
 
   std::string path_;
   FifoOptions options_;
-  Mutex io_mutex_;               ///< serializes whole frames off the pipe
+  /// Serializes whole frames off the pipe.
+  Mutex io_mutex_{LockRank::kFifo, "FifoReader::io_mutex_"};
   int fd_ EUGENE_GUARDED_BY(io_mutex_) = -1;
   bool created_ = false;
 };
+
+/// Pure frame codec — the wire-format validation logic of FifoReader with
+/// the pipe factored out. FifoReader::read_frame routes its header and CRC
+/// checks through these, so the fuzz harness (fuzz/fuzz_fifo_frame.cpp)
+/// exercises exactly the validation production traffic meets. Contract:
+/// arbitrary bytes yield frames or a typed TransportError, never UB.
+namespace fifo_wire {
+
+constexpr std::size_t kHeaderBytes = 8;  ///< u32 LE length + u32 LE crc32
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Decodes an 8-byte frame header. Throws TransportError when the length
+/// prefix exceeds `max_frame_bytes` (a corrupt or hostile length).
+FrameHeader parse_frame_header(const std::uint8_t* header,
+                               std::size_t max_frame_bytes);
+
+/// Throws TransportError unless crc32(payload, n) equals `expected_crc`.
+void verify_frame_crc(const std::uint8_t* payload, std::size_t n,
+                      std::uint32_t expected_crc);
+
+/// Reference decoder for a contiguous stream of frames (what the pipe would
+/// deliver): parses frame after frame, throwing TransportError on a torn
+/// header, an oversized length, a truncated payload, or a CRC mismatch.
+/// A stream ending cleanly at a frame boundary returns all frames parsed.
+std::vector<std::vector<std::uint8_t>> decode_stream(
+    const std::uint8_t* data, std::size_t size, std::size_t max_frame_bytes);
+
+}  // namespace fifo_wire
 
 /// Serializes the worker→scheduler end-of-stage report used by the live
 /// scheduler mode (task id, finished stage, predicted label, confidence).

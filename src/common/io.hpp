@@ -34,7 +34,7 @@
 namespace eugene::io {
 
 /// True iff `path` exists and is a regular file.
-bool file_exists(const std::string& path);
+[[nodiscard]] bool file_exists(const std::string& path);
 
 /// Writes `n` bytes to `path` atomically: the payload goes to `path + ".tmp"`,
 /// is fsynced, and is renamed over `path`; the containing directory is then
@@ -46,7 +46,7 @@ void atomic_write_file(const std::string& path, const std::uint8_t* data, std::s
 void atomic_write_file(const std::string& path, const std::vector<std::uint8_t>& payload);
 
 /// Reads a whole file. Throws IoError when the file cannot be opened or read.
-std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(const std::string& path);
 
 /// A validated blob: the stored format version and the raw payload.
 struct Blob {
@@ -56,13 +56,13 @@ struct Blob {
 
 /// Serializes a blob container to bytes: [magic u32][version u32]
 /// [payload length u64][payload][crc32(payload) u32].
-std::vector<std::uint8_t> encode_blob(std::uint32_t magic, std::uint32_t version,
+[[nodiscard]] std::vector<std::uint8_t> encode_blob(std::uint32_t magic, std::uint32_t version,
                                       const std::vector<std::uint8_t>& payload);
 
 /// Parses and validates an encode_blob container. Throws CorruptionError on
 /// bad magic, version > max_version, truncation, trailing bytes, or CRC
 /// mismatch. `what` names the artifact in error messages.
-Blob decode_blob(const std::vector<std::uint8_t>& bytes, std::uint32_t magic,
+[[nodiscard]] Blob decode_blob(const std::vector<std::uint8_t>& bytes, std::uint32_t magic,
                  std::uint32_t max_version, const std::string& what);
 
 /// atomic_write_file of an encode_blob container.
@@ -70,7 +70,7 @@ void write_blob_file(const std::string& path, std::uint32_t magic, std::uint32_t
                      const std::vector<std::uint8_t>& payload);
 
 /// read_file_bytes + decode_blob.
-Blob read_blob_file(const std::string& path, std::uint32_t magic,
+[[nodiscard]] Blob read_blob_file(const std::string& path, std::uint32_t magic,
                     std::uint32_t max_version, const std::string& what);
 
 /// Append-only serialization buffer for artifact payloads.
@@ -98,8 +98,8 @@ class ByteWriter {
     buf_.insert(buf_.end(), p, p + n);
   }
 
-  const std::vector<std::uint8_t>& buffer() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -114,25 +114,28 @@ class ByteReader {
   ByteReader(const std::vector<std::uint8_t>& bytes, std::string what)
       : ByteReader(bytes.data(), bytes.size(), std::move(what)) {}
 
-  std::uint8_t u8() {
+  [[nodiscard]] std::uint8_t u8() {
     need(1);
     return data_[pos_++];
   }
-  std::uint32_t u32() { return scalar<std::uint32_t>(); }
-  std::uint64_t u64() { return scalar<std::uint64_t>(); }
-  double f64() { return scalar<double>(); }
+  [[nodiscard]] std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  [[nodiscard]] double f64() { return scalar<double>(); }
 
-  std::string str() {
+  [[nodiscard]] std::string str() {
     const std::uint64_t n = length_prefix(1);
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    std::string s;
+    if (n != 0) s.assign(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
 
-  std::vector<double> f64_vec() {
+  [[nodiscard]] std::vector<double> f64_vec() {
     const std::uint64_t n = length_prefix(sizeof(double));
     std::vector<double> v(n);
-    std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
+    // n == 0 gives memcpy a null destination (empty vector) — UB even for
+    // zero bytes, and a null source too when reading an empty buffer.
+    if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
     return v;
   }
@@ -140,11 +143,11 @@ class ByteReader {
   /// Copies `n` raw bytes into `dst`.
   void raw_into(void* dst, std::size_t n) {
     need(n);
-    std::memcpy(dst, data_ + pos_, n);
+    if (n != 0) std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
   }
 
-  std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
   /// Throws CorruptionError if any bytes were left unread (a payload longer
   /// than its schema is as suspect as a truncated one).

@@ -13,7 +13,8 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 // Serializes whole lines onto stderr so concurrent loggers never interleave.
-Mutex g_emit_mutex;
+// kLogging is the unique leaf rank: EUGENE_LOG is legal under any other lock.
+Mutex g_emit_mutex{LockRank::kLogging, "logging::g_emit_mutex"};
 
 const char* tag(LogLevel level) {
   switch (level) {

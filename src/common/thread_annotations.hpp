@@ -7,7 +7,10 @@
 //
 //   * EUGENE_GUARDED_BY / EUGENE_REQUIRES / EUGENE_EXCLUDES / ... macros that
 //     expand to the Clang attributes (and to nothing on GCC/MSVC);
-//   * eugene::Mutex — a std::mutex wrapper carrying the capability attribute;
+//   * eugene::Mutex — a std::mutex wrapper carrying the capability attribute
+//     and a mandatory LockRank (common/lock_rank.hpp); debug builds enforce
+//     monotone rank acquisition, turning any lock-order inversion into an
+//     immediate abort with both acquisition stacks;
 //   * eugene::MutexLock — the RAII guard (a scoped capability);
 //   * eugene::CondVar — a condition variable that waits on eugene::Mutex.
 //
@@ -21,6 +24,20 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <source_location>
+
+#include "common/lock_rank.hpp"
+
+// EUGENE_LOCK_RANK_CHECKS gates the runtime deadlock-order checker. The
+// build defines it explicitly (see the root CMakeLists.txt: ON everywhere
+// except the Release preset); standalone compilations fall back to NDEBUG.
+#if !defined(EUGENE_LOCK_RANK_CHECKS)
+#if defined(NDEBUG)
+#define EUGENE_LOCK_RANK_CHECKS 0
+#else
+#define EUGENE_LOCK_RANK_CHECKS 1
+#endif
+#endif
 
 #if defined(__clang__)
 #define EUGENE_THREAD_ANNOTATION(x) __attribute__((x))
@@ -52,19 +69,63 @@
 namespace eugene {
 
 /// std::mutex with the Clang `capability` attribute so `-Wthread-safety`
-/// can reason about it. Satisfies BasicLockable/Lockable.
+/// can reason about it, plus a mandatory deadlock-analysis rank. Satisfies
+/// BasicLockable/Lockable.
+///
+/// Construction requires a LockRank from the registry in common/lock_rank.hpp
+/// (scripts/check_invariants.py rejects unranked mutexes in src/). In builds
+/// with EUGENE_LOCK_RANK_CHECKS=1 every lock() verifies the rank is strictly
+/// above everything the thread already holds; Release builds compile the
+/// checker away so lock()/unlock() are exactly std::mutex (BM_MutexRankedLock
+/// in bench_micro.cpp holds the hot path at parity).
 class EUGENE_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name = "") {
+#if EUGENE_LOCK_RANK_CHECKS
+    rank_ = static_cast<std::uint16_t>(rank);
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() EUGENE_ACQUIRE() { mu_.lock(); }
-  void unlock() EUGENE_RELEASE() { mu_.unlock(); }
-  bool try_lock() EUGENE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(std::source_location loc = std::source_location::current())
+      EUGENE_ACQUIRE() {
+#if EUGENE_LOCK_RANK_CHECKS
+    lock_rank::note_acquire(rank_, name_, this, loc);
+#else
+    (void)loc;
+#endif
+    mu_.lock();
+  }
+
+  void unlock() EUGENE_RELEASE() {
+    mu_.unlock();
+#if EUGENE_LOCK_RANK_CHECKS
+    lock_rank::note_release(this);
+#endif
+  }
+
+  bool try_lock(std::source_location loc = std::source_location::current())
+      EUGENE_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if EUGENE_LOCK_RANK_CHECKS
+    if (acquired) lock_rank::note_acquire_nonblocking(rank_, name_, this, loc);
+#else
+    (void)loc;
+#endif
+    return acquired;
+  }
 
  private:
   std::mutex mu_;
+#if EUGENE_LOCK_RANK_CHECKS
+  std::uint16_t rank_ = 0;
+  const char* name_ = "";
+#endif
 };
 
 /// RAII lock for eugene::Mutex, visible to the thread-safety analysis as a
@@ -72,7 +133,12 @@ class EUGENE_CAPABILITY("mutex") Mutex {
 /// lifetime).
 class EUGENE_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) EUGENE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  explicit MutexLock(Mutex& mu,
+                     std::source_location loc = std::source_location::current())
+      EUGENE_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(loc);
+  }
   ~MutexLock() EUGENE_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;

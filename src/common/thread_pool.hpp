@@ -47,7 +47,7 @@ class ThreadPool {
   void worker_loop() EUGENE_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kThreadPool, "ThreadPool::mutex_"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ EUGENE_GUARDED_BY(mutex_);
   bool stopping_ EUGENE_GUARDED_BY(mutex_) = false;

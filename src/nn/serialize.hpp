@@ -43,6 +43,6 @@ void load_params_file(const std::vector<ParamRef>& params, const std::string& pa
 
 /// Total serialized (v2) size in bytes (used by the caching policy to reason
 /// about download cost).
-std::size_t serialized_size_bytes(const std::vector<ParamRef>& params);
+[[nodiscard]] std::size_t serialized_size_bytes(const std::vector<ParamRef>& params);
 
 }  // namespace eugene::nn

@@ -50,7 +50,7 @@ class ModelRegistry {
   std::optional<std::size_t> find_locked(const std::string& name) const
       EUGENE_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kModelRegistry, "ModelRegistry::mutex_"};
   std::vector<std::unique_ptr<ModelEntry>> entries_ EUGENE_GUARDED_BY(mutex_);
 };
 

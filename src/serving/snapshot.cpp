@@ -106,9 +106,18 @@ void decode_artifacts(const std::vector<std::uint8_t>& payload, ModelEntry& entr
   const std::uint64_t curve_stages = r.u64();
   if (curve_stages > 0) {
     std::vector<double> priors = r.f64_vec();
+    if (priors.size() != curve_stages)
+      throw CorruptionError(what + ": prior count " + std::to_string(priors.size()) +
+                            " does not match curve stage count " +
+                            std::to_string(curve_stages));
     const std::uint64_t num_pairs = r.u64();
     if (curve_stages < 2 || num_pairs != curve_stages * (curve_stages - 1) / 2)
       throw CorruptionError(what + ": inconsistent confidence-curve pair count");
+    // Each profile is at least lo + hi + a knot-vector length prefix; a pair
+    // count the remaining bytes cannot possibly hold is corruption, and
+    // rejecting it here keeps a hostile count from driving a giant reserve().
+    if (num_pairs > r.remaining() / 24)
+      throw CorruptionError(what + ": confidence-curve pair count exceeds payload");
     std::vector<gp::PiecewiseLinear> approximations;
     approximations.reserve(num_pairs);
     for (std::uint64_t p = 0; p < num_pairs; ++p) {
@@ -214,6 +223,19 @@ std::uint64_t next_epoch(const std::string& dir) {
 }
 
 }  // namespace
+
+namespace detail {
+
+std::size_t decode_manifest_payload(const std::vector<std::uint8_t>& payload) {
+  return decode_manifest(payload).models.size();
+}
+
+void decode_artifacts_payload(const std::vector<std::uint8_t>& payload,
+                              ModelEntry& entry, const std::string& what) {
+  decode_artifacts(payload, entry, what);
+}
+
+}  // namespace detail
 
 std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir) {
   ensure_dir(dir);

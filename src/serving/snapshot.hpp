@@ -53,7 +53,7 @@ struct RestoreResult {
 /// Callers must quiesce mutation of the snapshotted entries (train/profile/
 /// calibrate) for the duration; snapshotting concurrently with mutation is a
 /// data race and can commit a torn-in-memory (though CRC-valid) snapshot.
-std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
+[[nodiscard]] std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
 
 /// Restores every model named by `dir`'s committed MANIFEST into `registry`
 /// (via ModelRegistry::add — a name collision with an existing entry throws
@@ -61,8 +61,24 @@ std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
 /// committed snapshot; throws CorruptionError when it holds a damaged one.
 /// On failure the registry may already hold the entries restored before the
 /// corrupt one — restore into a fresh registry and discard it on error.
-std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
+[[nodiscard]] std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
                                               const std::string& dir,
                                               const ModelFactory& factory);
+
+namespace detail {
+
+/// Fuzz/test surface (fuzz/fuzz_snapshot.cpp): runs the production manifest
+/// decoder on an arbitrary payload (the blob container already stripped).
+/// Returns the number of models the manifest names; throws CorruptionError
+/// on any damage. Arbitrary bytes must never produce UB or an untyped throw.
+[[nodiscard]] std::size_t decode_manifest_payload(const std::vector<std::uint8_t>& payload);
+
+/// Fuzz/test surface: runs the production artifact decoder on an arbitrary
+/// payload against `entry` (whose model provides the expected stage count).
+/// Throws CorruptionError on damage or mixed-snapshot mismatches.
+void decode_artifacts_payload(const std::vector<std::uint8_t>& payload,
+                              ModelEntry& entry, const std::string& what);
+
+}  // namespace detail
 
 }  // namespace eugene::serving

@@ -232,19 +232,22 @@ void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta) {
 }
 
 JournalReplay UsageMeter::replay_journal(const std::string& path) {
-  JournalReplay result;
-  if (!io::file_exists(path)) return result;
-  const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
+  if (!io::file_exists(path)) return {};
+  return replay_journal_image(io::read_file_bytes(path), path);
+}
 
+JournalReplay UsageMeter::replay_journal_image(const std::vector<std::uint8_t>& bytes,
+                                               const std::string& what) {
+  JournalReplay result;
   MutexLock lock(mutex_);
-  const JournalScan scan = scan_journal(bytes, path);
+  const JournalScan scan = scan_journal(bytes, what);
   for (const auto& [payload, len] : scan.frames) {
     io::ByteReader r(payload, len, "usage journal frame");
     const std::uint64_t touched = r.u64();
     for (std::uint64_t t = 0; t < touched; ++t) {
       const std::uint32_t c = r.u32();
       if (c >= usage_.size())
-        throw CorruptionError("usage journal " + path + ": frame names class " +
+        throw CorruptionError("usage journal " + what + ": frame names class " +
                               std::to_string(c) + " but meter has " +
                               std::to_string(usage_.size()));
       ClassUsage& u = usage_[c];

@@ -94,6 +94,15 @@ class UsageMeter {
   /// replays zero frames.
   JournalReplay replay_journal(const std::string& path) EUGENE_EXCLUDES(mutex_);
 
+  /// Byte-level core of replay_journal: replays a journal *image* (the raw
+  /// bytes of a journal file) into the accumulators. Exposed so the fuzz
+  /// harness (fuzz/fuzz_usage_journal.cpp) can drive the exact production
+  /// decode path with arbitrary bytes — the contract is success, a truncated
+  /// flag, or CorruptionError, never UB. `what` names the source in errors.
+  JournalReplay replay_journal_image(const std::vector<std::uint8_t>& bytes,
+                                     const std::string& what)
+      EUGENE_EXCLUDES(mutex_);
+
   /// Consistent snapshot of the per-class accumulators.
   std::vector<ClassUsage> usage() const EUGENE_EXCLUDES(mutex_);
 
@@ -114,7 +123,7 @@ class UsageMeter {
       EUGENE_REQUIRES(mutex_);
 
   sched::StageCostModel costs_;  ///< immutable after construction
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kUsageMeter, "UsageMeter::mutex_"};
   std::vector<ClassUsage> usage_ EUGENE_GUARDED_BY(mutex_);
   int journal_fd_ EUGENE_GUARDED_BY(mutex_) = -1;  ///< -1 when detached
 };

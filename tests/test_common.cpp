@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "common/channel.hpp"
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
@@ -379,16 +382,16 @@ TEST(Io, ByteReaderOverReadThrowsCorruption) {
   io::ByteWriter w;
   w.u32(5);
   io::ByteReader r(w.buffer(), "test");
-  EXPECT_THROW(r.u64(), CorruptionError);
+  EXPECT_THROW((void)r.u64(), CorruptionError);
 
   // A length prefix that exceeds the payload must throw, not allocate.
   io::ByteWriter lying;
   lying.u64(1ull << 62);
   io::ByteReader r2(lying.buffer(), "test");
-  EXPECT_THROW(r2.f64_vec(), CorruptionError);
+  EXPECT_THROW((void)r2.f64_vec(), CorruptionError);
 
   io::ByteReader r3(w.buffer(), "test");
-  r3.u32();
+  (void)r3.u32();
   EXPECT_NO_THROW(r3.expect_exhausted());
 }
 
@@ -439,6 +442,175 @@ TEST(FifoChannel, FramesCrossARealNamedPipe) {
   EXPECT_EQ(StageReport::decode(*f1)->predicted_label, 3u);
   EXPECT_NEAR(StageReport::decode(*f2)->confidence, 0.75f, 1e-6);
 }
+
+// ---------------------------------------------------------------------------
+// Lock-rank deadlock-order checker (common/lock_rank.hpp, DESIGN.md §10).
+// The checker is compiled out in Release builds, so everything that asserts
+// on detection is guarded by EUGENE_LOCK_RANK_CHECKS.
+// ---------------------------------------------------------------------------
+
+#if EUGENE_LOCK_RANK_CHECKS
+
+namespace {
+// Capture handler: ViolationHandler is a plain function pointer, so the
+// report lands in a file-scope string (tests run sequentially).
+std::string g_last_violation;  // NOLINT(cert-err58-cpp)
+int g_violation_count = 0;
+void capture_violation(const std::string& report) {
+  g_last_violation = report;
+  ++g_violation_count;
+}
+
+/// Installs the capture handler for one test body and restores the previous
+/// handler (the default abort) on scope exit.
+struct ViolationCapture {
+  ViolationCapture() {
+    g_last_violation.clear();
+    g_violation_count = 0;
+    previous = lock_rank::set_violation_handler(&capture_violation);
+  }
+  ~ViolationCapture() { lock_rank::set_violation_handler(previous); }
+  lock_rank::ViolationHandler previous;
+};
+
+// Ad-hoc ranks for checker tests: values outside the registry are legal at
+// runtime (lock_rank_name renders "?"), which keeps these tests independent
+// of the production rank map.
+constexpr LockRank kLow = static_cast<LockRank>(10);
+constexpr LockRank kHigh = static_cast<LockRank>(20);
+}  // namespace
+
+TEST(LockRank, MonotoneAcquisitionIsClean) {
+  ViolationCapture capture;
+  Mutex low(kLow, "test_low");
+  Mutex high(kHigh, "test_high");
+  ASSERT_EQ(lock_rank::held_count(), 0u);
+  low.lock();
+  high.lock();
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  high.unlock();
+  low.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  EXPECT_EQ(g_violation_count, 0);
+}
+
+TEST(LockRank, InversionReportNamesBothAcquisitionSites) {
+  ViolationCapture capture;
+  Mutex low(kLow, "test_low");
+  Mutex high(kHigh, "test_high");
+  high.lock();
+  low.lock();  // B→A inversion: rank 10 while holding rank 20
+  EXPECT_EQ(g_violation_count, 1);
+  EXPECT_NE(g_last_violation.find("lock-rank violation"), std::string::npos)
+      << g_last_violation;
+  // Both sides of the would-be cycle, with names, ranks, and file:line.
+  EXPECT_NE(g_last_violation.find("test_low"), std::string::npos);
+  EXPECT_NE(g_last_violation.find("test_high"), std::string::npos);
+  EXPECT_NE(g_last_violation.find("rank 10"), std::string::npos);
+  EXPECT_NE(g_last_violation.find("rank 20"), std::string::npos);
+  EXPECT_NE(g_last_violation.find("test_common.cpp"), std::string::npos);
+  low.unlock();
+  high.unlock();
+}
+
+TEST(LockRank, EqualRankIsAViolation) {
+  // Two locks of the same rank have no defined order, so A→B on one thread
+  // and B→A on another would deadlock; the checker rejects the second
+  // acquisition even though the ranks are equal, not decreasing.
+  ViolationCapture capture;
+  Mutex a(kLow, "test_a");
+  Mutex b(kLow, "test_b");
+  a.lock();
+  b.lock();
+  EXPECT_EQ(g_violation_count, 1);
+  b.unlock();
+  a.unlock();
+}
+
+TEST(LockRank, NonLifoReleaseIsTracked) {
+  ViolationCapture capture;
+  Mutex low(kLow, "test_low");
+  Mutex high(kHigh, "test_high");
+  low.lock();
+  high.lock();
+  low.unlock();  // released out of acquisition order — legal
+  EXPECT_EQ(lock_rank::held_count(), 1u);
+  // With only rank 20 held, a fresh rank-10 acquisition is still a violation.
+  Mutex low2(kLow, "test_low2");
+  low2.lock();
+  EXPECT_EQ(g_violation_count, 1);
+  low2.unlock();
+  high.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  EXPECT_EQ(g_violation_count, 1);
+}
+
+TEST(LockRank, TryLockIsTrackedButNotEnforced) {
+  // try_lock cannot block, so it cannot complete a deadlock cycle; it is the
+  // sanctioned escape hatch for genuinely order-free designs.
+  ViolationCapture capture;
+  Mutex low(kLow, "test_low");
+  Mutex high(kHigh, "test_high");
+  high.lock();
+  ASSERT_TRUE(low.try_lock());
+  EXPECT_EQ(g_violation_count, 0);
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  // ...but the acquisition is *tracked*: a later blocking lock above the
+  // try-locked rank still sees a complete picture of what this thread holds.
+  low.unlock();
+  high.unlock();
+}
+
+TEST(LockRank, ProductionRanksFormAStrictOrderOnTheServingPath) {
+  // The serving path's deepest real nesting: registry → usage meter →
+  // failpoint registry → logging. If someone reorders the registry ranks
+  // this regression fails before any production schedule ever deadlocks.
+  ViolationCapture capture;
+  Mutex registry(LockRank::kModelRegistry, "registry");
+  Mutex usage(LockRank::kUsageMeter, "usage");
+  Mutex failpoints(LockRank::kFailpointRegistry, "failpoints");
+  Mutex logging(LockRank::kLogging, "logging");
+  registry.lock();
+  usage.lock();
+  failpoints.lock();
+  logging.lock();
+  EXPECT_EQ(g_violation_count, 0);
+  logging.unlock();
+  failpoints.unlock();
+  usage.unlock();
+  registry.unlock();
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(LockRankDeathTest, InversionAbortsWithReport) {
+  // No capture handler here: the default path prints the report to stderr
+  // and aborts, which is exactly what a production debug build must do.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex low(kLow, "death_low");
+        Mutex high(kHigh, "death_high");
+        high.lock();
+        low.lock();
+      },
+      "lock-rank violation");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+#else  // !EUGENE_LOCK_RANK_CHECKS
+
+TEST(LockRank, CheckerCompiledOutMutexStillLocks) {
+  // Release builds: eugene::Mutex must degrade to a plain std::mutex.
+  Mutex mu(LockRank::kChannel, "release_mutex");
+  {
+    MutexLock lock(mu);
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+#endif  // EUGENE_LOCK_RANK_CHECKS
 
 }  // namespace
 }  // namespace eugene

@@ -173,7 +173,7 @@ TEST(Recovery, KillMidCheckpointFallsBackToPreviousGoodSnapshot) {
   // Mutate state, then die right before the manifest commit.
   registry.entry(0).calibration_alpha = {9.9, 9.9};
   FailpointRegistry::instance().arm("snapshot.manifest.crash", FailpointSpec{});
-  EXPECT_THROW(serving::save_snapshot(registry, dir.path), FailpointError);
+  EXPECT_THROW((void)serving::save_snapshot(registry, dir.path), FailpointError);
   FailpointRegistry::instance().disarm_all();
 
   // The torn attempt left epoch-2 debris but no commit: restore must see
@@ -206,7 +206,7 @@ TEST(Recovery, TornWriteDuringArtifactSaveKeepsPreviousSnapshot) {
   FailpointSpec one_shot;
   one_shot.max_fires = 1;
   FailpointRegistry::instance().arm("io.atomic.torn", one_shot);
-  EXPECT_THROW(serving::save_snapshot(registry, dir.path), FailpointError);
+  EXPECT_THROW((void)serving::save_snapshot(registry, dir.path), FailpointError);
   FailpointRegistry::instance().disarm_all();
 
   serving::ModelRegistry restored;
@@ -228,11 +228,11 @@ TEST(Recovery, ShortAndBitFlippedCheckpointsThrowTypedErrors) {
     // each atomic write, manifest included): restore must refuse with a
     // typed CorruptionError, not load garbage.
     FailpointRegistry::instance().arm(fp, FailpointSpec{});
-    serving::save_snapshot(registry, dir.path);
+    (void)serving::save_snapshot(registry, dir.path);
     FailpointRegistry::instance().disarm_all();
 
     serving::ModelRegistry restored;
-    EXPECT_THROW(serving::restore_snapshot(restored, dir.path, tiny_factory()),
+    EXPECT_THROW((void)serving::restore_snapshot(restored, dir.path, tiny_factory()),
                  CorruptionError)
         << fp;
   }
@@ -254,9 +254,9 @@ TEST(Recovery, RestoreIntoOccupiedRegistryRejectsDuplicateName) {
   TempDir dir("dup");
   serving::ModelRegistry registry;
   add_calibrated_model(registry, "model", 1);
-  serving::save_snapshot(registry, dir.path);
+  (void)serving::save_snapshot(registry, dir.path);
 
-  EXPECT_THROW(serving::restore_snapshot(registry, dir.path, tiny_factory()),
+  EXPECT_THROW((void)serving::restore_snapshot(registry, dir.path, tiny_factory()),
                InvalidArgument);
   // Direct duplicate add keeps throwing too.
   EXPECT_THROW(registry.add("model", nn::build_staged_resnet(tiny_model_config())),
@@ -287,7 +287,7 @@ TEST(Recovery, RestoredCurvesServeButRefuseExactGpQueries) {
   TempDir dir("gp");
   serving::ModelRegistry registry;
   add_calibrated_model(registry, "model", 1);
-  serving::save_snapshot(registry, dir.path);
+  (void)serving::save_snapshot(registry, dir.path);
 
   serving::ModelRegistry restored;
   ASSERT_TRUE(serving::restore_snapshot(restored, dir.path, tiny_factory()).has_value());
@@ -481,7 +481,7 @@ TEST(Recovery, ManifestWithImplausibleModelCountThrowsTyped) {
                       w.take());
 
   serving::ModelRegistry registry;
-  EXPECT_THROW(serving::restore_snapshot(registry, dir.path, tiny_factory()),
+  EXPECT_THROW((void)serving::restore_snapshot(registry, dir.path, tiny_factory()),
                CorruptionError);
 }
 
@@ -498,10 +498,10 @@ TEST(Recovery, MixedSnapshotArtifactVectorsThrowTyped) {
       registry.entry(0).calibration_alpha = {0.1, 0.2, 0.3};  // 3-stage α
     else
       registry.entry(0).costs.stage_ms = {1.0, 2.0, 3.0};  // 3-stage costs
-    serving::save_snapshot(registry, dir.path);
+    (void)serving::save_snapshot(registry, dir.path);
 
     serving::ModelRegistry restored;
-    EXPECT_THROW(serving::restore_snapshot(restored, dir.path, tiny_factory()),
+    EXPECT_THROW((void)serving::restore_snapshot(restored, dir.path, tiny_factory()),
                  CorruptionError)
         << (bad_alpha ? "alpha" : "costs");
   }
@@ -525,7 +525,7 @@ TEST(RecoveryEnv, RestoreAlwaysSeesLastCommittedSnapshot) {
     const std::vector<double> next_alpha = {0.1 * round, 0.2 * round};
     registry.entry(0).calibration_alpha = next_alpha;
     try {
-      serving::save_snapshot(registry, dir.path);
+      (void)serving::save_snapshot(registry, dir.path);
       committed_alpha = next_alpha;
       any_commit = true;
     } catch (const FailpointError&) {
