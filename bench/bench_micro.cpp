@@ -6,17 +6,22 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "common/channel.hpp"
 #include "common/crc32.hpp"
 #include "common/failpoint.hpp"
+#include "common/health.hpp"
 #include "common/thread_annotations.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/serialize.hpp"
 #include "nn/staged_model.hpp"
+#include "sched/live.hpp"
 #include "sched/policy.hpp"
 #include "tensor/ops.hpp"
 
@@ -146,6 +151,96 @@ void BM_FailpointArmedOther(benchmark::State& state) {
   FailpointRegistry::instance().disarm_all();
 }
 BENCHMARK(BM_FailpointArmedOther);
+
+// ---- overload control (DESIGN.md §11) --------------------------------------
+
+// Baseline for the breaker's closed-path claim: one relaxed atomic load.
+void BM_AtomicLoadBaseline(benchmark::State& state) {
+  std::atomic<std::uint8_t> flag{0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(flag.load(std::memory_order_relaxed));
+}
+BENCHMARK(BM_AtomicLoadBaseline);
+
+// A closed breaker guards every live dispatch, so allow() must cost what the
+// header promises: one relaxed atomic load, within noise of the baseline
+// above. Warm the breaker with successes first so it is genuinely closed.
+void BM_BreakerClosedPath(benchmark::State& state) {
+  CircuitBreaker breaker;
+  for (int i = 0; i < 8; ++i) breaker.record_success(1.0, i * 10.0);
+  for (auto _ : state) benchmark::DoNotOptimize(breaker.allow(1000.0));
+}
+BENCHMARK(BM_BreakerClosedPath);
+
+sched::LiveConfig hedge_bench_config(bool hedging) {
+  sched::LiveConfig cfg;
+  cfg.max_retries = 0;
+  cfg.health.enabled = false;  // isolate hedging from breaker routing
+  cfg.hedging = hedging;
+  cfg.hedge_quantile = 0.5;
+  cfg.hedge_min_ms = 0.5;
+  cfg.hedge_min_samples = 4;
+  return cfg;
+}
+
+// Tail rescue under a straggler replica: replica 0 stalls 3 ms on ~40% of
+// its stages (live.worker.sick kind=delay). Per-iteration time is batch
+// makespan, but the headline numbers are the task-latency percentile
+// counters: with hedging on, the backup dispatch overlaps the stall, so
+// p99_task_ms sits well below the hedging-off row while p50 stays put.
+void BM_HedgedDispatch(benchmark::State& state) {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {3, 4};
+  cfg.head_hidden = 8;
+  nn::StagedModel source = nn::build_staged_resnet(cfg);
+  auto replicas = sched::replicate_staged_model(
+      source, [&] { return nn::build_staged_resnet(cfg); }, 3);
+  const auto curves = make_curves();
+  Rng rng(7);
+  std::vector<tensor::Tensor> inputs;
+  for (int i = 0; i < 8; ++i)
+    inputs.push_back(tensor::Tensor::randn({2, 8, 8}, rng));
+  const sched::LiveConfig live = hedge_bench_config(state.range(0) != 0);
+
+  FailpointSpec sick;
+  sick.kind = FailpointKind::kDelay;
+  sick.delay_ms = 3.0;
+  sick.probability = 0.4;
+  sick.seed = 11;
+  std::size_t hedges = 0;
+  std::vector<double> task_ms;
+  for (auto _ : state) {
+    FailpointRegistry::instance().arm("live.worker.sick", sick);
+    sched::LiveStats stats;
+    const auto results = sched::run_live(replicas, curves, inputs, live, &stats);
+    benchmark::DoNotOptimize(results.data());
+    hedges += stats.hedges_issued;
+    for (const auto& r : results) task_ms.push_back(r.latency_ms);
+  }
+  FailpointRegistry::instance().disarm_all();
+  auto pct = [&](double q) {
+    std::vector<double> sorted = task_ms;
+    const auto k = static_cast<std::size_t>(q * (sorted.size() - 1));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k), sorted.end());
+    return sorted[k];
+  };
+  state.counters["hedges/iter"] =
+      benchmark::Counter(static_cast<double>(hedges),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["p50_task_ms"] = pct(0.50);
+  state.counters["p99_task_ms"] = pct(0.99);
+}
+BENCHMARK(BM_HedgedDispatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("hedging")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ChannelSendReceive(benchmark::State& state) {
   Channel<int> ch;

@@ -19,6 +19,12 @@ Enforces the repo-wide contracts that grep one-liners used to approximate:
                       string literals in src/ equals the registry in
                       common/failpoint_names.hpp, both directions, so chaos
                       jobs can never silently arm a renamed site.
+  raw-sleep           no bare std::this_thread::sleep_for / sleep_until in
+                      src/ — polling loops must wait on a CondVar (or a
+                      channel) so cancellation, shutdown, and new work wake
+                      them immediately. The few legitimate sleeps (injected
+                      failpoint delays, backoff between retries) are
+                      allowlisted with reasons.
   naked-new           ownership goes through containers / make_unique.
   using-namespace     no `using namespace std` in headers.
   stdout              the library logs via EUGENE_LOG, not std::cout.
@@ -287,6 +293,22 @@ def rule_failpoint_registry(files, repo_root: Path):
             "src/ uses it (delete it here and from any CI spec arming it)")
 
 
+RAW_SLEEP_RE = re.compile(r"std::this_thread::sleep_(for|until)\b")
+
+
+def rule_raw_sleep(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            if RAW_SLEEP_RE.search(line):
+                yield Violation(
+                    "raw-sleep", f.rel, ln,
+                    "raw sleep in src/ — wait on a CondVar/channel with a "
+                    "timeout instead, so cancellation and new work wake the "
+                    "loop immediately (allowlist genuinely timed sleeps)")
+
+
 NAKED_NEW_RE = re.compile(r"(^|[^\w_\.\"])new\s+[A-Za-z_:<]")
 
 
@@ -334,6 +356,7 @@ RULES = {
     "throw-taxonomy": rule_throw_taxonomy,
     "file-write": rule_file_write,
     "failpoint-registry": rule_failpoint_registry,
+    "raw-sleep": rule_raw_sleep,
     "naked-new": rule_naked_new,
     "using-namespace": rule_using_namespace,
     "stdout": rule_stdout,

@@ -1,0 +1,70 @@
+// Cooperative cancellation with deadline propagation (DESIGN.md §11).
+//
+// A CancellationToken is the scheduler's handle on work it handed to someone
+// else: the dispatch carries a copy of the token to the worker, and the
+// worker checks should_stop() at its next safe point (Eugene's stages cannot
+// be interrupted mid-kernel, so "safe point" means before running a stage).
+// The token also carries the request's absolute deadline, so a worker about
+// to run a stage whose result could never arrive in time skips the work —
+// deadline propagation without a second channel.
+//
+// Tokens are cheap value types over a shared atomic: copy freely, cancel()
+// from any thread, read cancelled()/should_stop() from any thread. A
+// default-constructed token is *detached*: it never reports cancellation and
+// carries no deadline (for code paths that have nothing to propagate).
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <memory>
+
+namespace eugene {
+
+/// Shared cancellation flag + absolute deadline for one unit of dispatched
+/// work. See the header comment for the cooperative contract.
+class CancellationToken {
+ public:
+  /// Detached token: never cancelled, deadline at infinity.
+  CancellationToken() = default;
+
+  /// Live token carrying `deadline_ms` (absolute, in the issuing clock's
+  /// domain; +infinity for no deadline).
+  explicit CancellationToken(double deadline_ms)
+      : state_(std::make_shared<State>(deadline_ms)) {}
+
+  /// Requests cancellation. Safe from any thread; no-op on a detached token.
+  void cancel() {
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Has cancel() been called?
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// The absolute deadline this work inherited (+infinity when detached).
+  double deadline_ms() const {
+    return state_ ? state_->deadline_ms
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  /// The worker-side check: true when the work should be abandoned, either
+  /// because the issuer cancelled it or because its deadline has passed.
+  bool should_stop(double now_ms) const {
+    return state_ && (state_->cancelled.load(std::memory_order_relaxed) ||
+                      now_ms >= state_->deadline_ms);
+  }
+
+  /// False for a default-constructed (detached) token.
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    explicit State(double deadline) : deadline_ms(deadline) {}
+    std::atomic<bool> cancelled{false};
+    const double deadline_ms;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace eugene

@@ -14,12 +14,19 @@
 namespace eugene::failpoint_names {
 
 inline constexpr const char* kAll[] = {
+    "admit.brownout.force",     // InferenceServer: escalate the brownout level
     "fifo.write.corrupt",       // FifoWriter: flip a frame byte post-CRC
     "fifo.write.torn",          // FifoWriter: drop the second half of a frame
+    "health.breaker.trip",      // CircuitBreaker: force a trip on record()
+    "hedge.lose.race",          // live scheduler: primary dispatch forced to
+                                // lose the hedge race (loser-cancel path)
     "io.atomic.corrupt",        // atomic_write_file: commit with one bit flipped
     "io.atomic.short",          // atomic_write_file: commit missing tail bytes
     "io.atomic.torn",           // atomic_write_file: crash before the rename
     "live.worker.crash",        // live scheduler: worker stage throws
+    "live.worker.sick",         // live scheduler: replica 0 is the designated
+                                // sick replica (error: recoverable stage
+                                // failures; delay: a straggler)
     "live.worker.slow",         // live scheduler: worker stage stalls
     "serving.stage.crash",      // serving front door: stage execution throws
     "snapshot.manifest.crash",  // snapshot: die between artifacts and commit

@@ -1,0 +1,138 @@
+#include "common/health.hpp"
+
+#include "common/check.hpp"
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
+
+namespace eugene {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(HealthConfig config) : config_(config) {
+  EUGENE_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                 "CircuitBreaker: ewma_alpha outside (0, 1]");
+  EUGENE_REQUIRE(config_.error_threshold > 0.0 && config_.error_threshold <= 1.0,
+                 "CircuitBreaker: error_threshold outside (0, 1]");
+  EUGENE_REQUIRE(config_.latency_threshold_ms > 0.0,
+                 "CircuitBreaker: latency_threshold_ms must be positive");
+  EUGENE_REQUIRE(config_.open_cooldown_ms > 0.0,
+                 "CircuitBreaker: open_cooldown_ms must be positive");
+  EUGENE_REQUIRE(config_.half_open_probes >= 1,
+                 "CircuitBreaker: need at least one half-open probe");
+}
+
+bool CircuitBreaker::allow_slow(double now_ms) {
+  MutexLock lock(mutex_);
+  // Re-read under the lock: the fast path raced an in-progress transition.
+  switch (static_cast<BreakerState>(state_.load(std::memory_order_relaxed))) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      return true;  // a probe
+    case BreakerState::kOpen:
+      if (now_ms - opened_at_ms_ >= config_.open_cooldown_ms) {
+        state_.store(static_cast<std::uint8_t>(BreakerState::kHalfOpen),
+                     std::memory_order_relaxed);
+        probe_successes_ = 0;
+        return true;  // the first probe
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(double latency_ms, double now_ms) {
+  if (!config_.enabled) return;
+  MutexLock lock(mutex_);
+  ++samples_;
+  error_ewma_ += config_.ewma_alpha * (0.0 - error_ewma_);
+  if (latency_seeded_) {
+    latency_ewma_ms_ += config_.ewma_alpha * (latency_ms - latency_ewma_ms_);
+  } else {
+    latency_ewma_ms_ = latency_ms;
+    latency_seeded_ = true;
+  }
+  // Chaos seam: force a trip without manufacturing real failures, so tests
+  // exercise open-breaker routing deterministically.
+  if (EUGENE_FAILPOINT_FIRED("health.breaker.trip")) {
+    trip_locked(now_ms);
+    return;
+  }
+  const auto s = static_cast<BreakerState>(state_.load(std::memory_order_relaxed));
+  if (s == BreakerState::kHalfOpen) {
+    if (++probe_successes_ >= config_.half_open_probes) {
+      state_.store(static_cast<std::uint8_t>(BreakerState::kClosed),
+                   std::memory_order_relaxed);
+      // Forget the sick-era error estimate: the target earned a clean slate,
+      // so one post-recovery blip does not immediately re-trip.
+      error_ewma_ = 0.0;
+    }
+    return;
+  }
+  if (s == BreakerState::kClosed && samples_ >= config_.min_samples &&
+      latency_ewma_ms_ >= config_.latency_threshold_ms) {
+    trip_locked(now_ms);
+  }
+}
+
+void CircuitBreaker::record_failure(double now_ms) {
+  if (!config_.enabled) return;
+  MutexLock lock(mutex_);
+  ++samples_;
+  error_ewma_ += config_.ewma_alpha * (1.0 - error_ewma_);
+  if (EUGENE_FAILPOINT_FIRED("health.breaker.trip")) {
+    trip_locked(now_ms);
+    return;
+  }
+  const auto s = static_cast<BreakerState>(state_.load(std::memory_order_relaxed));
+  if (s == BreakerState::kHalfOpen) {
+    trip_locked(now_ms);  // the probe failed: straight back to open
+    return;
+  }
+  if (s == BreakerState::kClosed && samples_ >= config_.min_samples &&
+      error_ewma_ >= config_.error_threshold) {
+    trip_locked(now_ms);
+  }
+}
+
+void CircuitBreaker::trip_locked(double now_ms) {
+  state_.store(static_cast<std::uint8_t>(BreakerState::kOpen),
+               std::memory_order_relaxed);
+  opened_at_ms_ = now_ms;
+  probe_successes_ = 0;
+  ++trips_;
+  EUGENE_LOG(Warn) << "breaker tripped open (error ewma " << error_ewma_
+                   << ", latency ewma " << latency_ewma_ms_ << " ms, "
+                   << samples_ << " samples)";
+}
+
+double CircuitBreaker::error_rate() const {
+  MutexLock lock(mutex_);
+  return error_ewma_;
+}
+
+double CircuitBreaker::latency_ewma_ms() const {
+  MutexLock lock(mutex_);
+  return latency_ewma_ms_;
+}
+
+double CircuitBreaker::score() const {
+  MutexLock lock(mutex_);
+  // Error rate dominates (a reliable-but-slow target beats a fast-but-flaky
+  // one); latency breaks ties among equally reliable targets.
+  return error_ewma_ * 1.0e6 + latency_ewma_ms_;
+}
+
+std::size_t CircuitBreaker::trips() const {
+  MutexLock lock(mutex_);
+  return trips_;
+}
+
+}  // namespace eugene

@@ -1,0 +1,125 @@
+// Per-target health tracking and circuit breaking (DESIGN.md §11 "Overload &
+// health model").
+//
+// A CircuitBreaker watches one dispatch target (a worker replica, a backend)
+// through EWMA estimates of its error rate and stage latency and gates
+// dispatch through three states:
+//
+//   closed    — healthy; every dispatch is allowed. allow() is ONE relaxed
+//               atomic load (BM_BreakerClosedPath pins this at parity with a
+//               plain std::atomic load), so the breaker can sit on the
+//               per-stage hot path.
+//   open      — the error-rate or latency EWMA breached its threshold; all
+//               dispatch is refused until open_cooldown_ms elapses. The
+//               scheduler routes around the target instead of burning retry
+//               budget on it.
+//   half-open — cooldown expired; probe dispatches are allowed. A run of
+//               half_open_probes successes re-closes the breaker; any probe
+//               failure re-opens it and restarts the cooldown.
+//
+// All transitions are observed through explicit `now_ms` arguments so tests
+// drive them with a VirtualClock. Thread-safe: a supervisor thread records
+// outcomes while other threads consult allow()/state(). The mutex ranks at
+// LockRank::kHealth; the `health.breaker.trip` failpoint fires inside the
+// locked region (kHealth < kFailpointRegistry), letting chaos tests force a
+// trip without manufacturing real errors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "common/thread_annotations.hpp"
+
+namespace eugene {
+
+/// Breaker thresholds and EWMA shape. Defaults suit per-stage dispatch: a
+/// replica erroring on ~half its stages opens within a handful of samples.
+struct HealthConfig {
+  bool enabled = true;          ///< false: allow() is unconditionally true
+  double ewma_alpha = 0.25;     ///< weight of the newest observation
+  double error_threshold = 0.4; ///< error-rate EWMA that opens the breaker
+  double latency_threshold_ms =
+      std::numeric_limits<double>::infinity();  ///< latency EWMA that opens
+  std::size_t min_samples = 4;  ///< observations before the breaker may trip
+  double open_cooldown_ms = 100.0;   ///< open → half-open delay
+  std::size_t half_open_probes = 1;  ///< successes that re-close the breaker
+};
+
+/// The three breaker states. Stored in one atomic so the closed-path check
+/// never takes the lock.
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// Human-readable state name ("closed" / "open" / "half-open").
+const char* breaker_state_name(BreakerState state);
+
+/// Health score + circuit breaker for one dispatch target. See the header
+/// comment for the state machine; all methods are thread-safe.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(HealthConfig config = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// May a dispatch go to this target now? Closed: one relaxed atomic load,
+  /// inlined here so the hot path never pays a call. Open: refused until the
+  /// cooldown expires (the expiry itself transitions to half-open under the
+  /// lock). Half-open: allowed (a probe).
+  bool allow(double now_ms) EUGENE_EXCLUDES(mutex_) {
+    if (!config_.enabled) return true;
+    if (static_cast<BreakerState>(state_.load(std::memory_order_relaxed)) ==
+        BreakerState::kClosed) [[likely]]
+      return true;
+    return allow_slow(now_ms);
+  }
+
+  /// Records a successful dispatch and its observed latency. May trip the
+  /// breaker on a latency breach, or re-close it from half-open.
+  void record_success(double latency_ms, double now_ms) EUGENE_EXCLUDES(mutex_);
+
+  /// Records a failed dispatch (crash, stage error, abandonment). May trip
+  /// the breaker on an error-rate breach; always re-opens from half-open.
+  void record_failure(double now_ms) EUGENE_EXCLUDES(mutex_);
+
+  /// Current state (relaxed load; exact under the single-supervisor pattern).
+  BreakerState state() const {
+    return static_cast<BreakerState>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Error-rate EWMA in [0, 1].
+  double error_rate() const EUGENE_EXCLUDES(mutex_);
+
+  /// Latency EWMA in milliseconds (0 until a success is recorded).
+  double latency_ewma_ms() const EUGENE_EXCLUDES(mutex_);
+
+  /// Composite health score: lower is healthier. Error rate dominates;
+  /// latency breaks ties, so a scheduler sorting by score prefers the
+  /// fastest of the reliable targets.
+  double score() const EUGENE_EXCLUDES(mutex_);
+
+  /// Times the breaker tripped (closed/half-open → open) since construction.
+  std::size_t trips() const EUGENE_EXCLUDES(mutex_);
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  /// Non-closed states: takes the lock, handles cooldown expiry and probes.
+  bool allow_slow(double now_ms) EUGENE_EXCLUDES(mutex_);
+
+  void trip_locked(double now_ms) EUGENE_REQUIRES(mutex_);
+
+  const HealthConfig config_;
+  /// The fast-path gate; transitions happen only under mutex_.
+  std::atomic<std::uint8_t> state_{static_cast<std::uint8_t>(BreakerState::kClosed)};
+  mutable Mutex mutex_{LockRank::kHealth, "CircuitBreaker::mutex_"};
+  double error_ewma_ EUGENE_GUARDED_BY(mutex_) = 0.0;
+  double latency_ewma_ms_ EUGENE_GUARDED_BY(mutex_) = 0.0;
+  std::size_t samples_ EUGENE_GUARDED_BY(mutex_) = 0;
+  bool latency_seeded_ EUGENE_GUARDED_BY(mutex_) = false;
+  double opened_at_ms_ EUGENE_GUARDED_BY(mutex_) = 0.0;
+  std::size_t probe_successes_ EUGENE_GUARDED_BY(mutex_) = 0;
+  std::size_t trips_ EUGENE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace eugene

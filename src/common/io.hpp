@@ -93,9 +93,13 @@ class ByteWriter {
     raw(v.data(), v.size() * sizeof(double));
   }
 
+  // resize+memcpy rather than insert(range): GCC 12 -O3 trips false
+  // stringop-overflow/restrict warnings on the inlined insert path.
   void raw(const void* data, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    if (n == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }

@@ -14,6 +14,7 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kThreadPool: return "kThreadPool";
     case LockRank::kChannel: return "kChannel";
     case LockRank::kFifo: return "kFifo";
+    case LockRank::kHealth: return "kHealth";
     case LockRank::kFailpointRegistry: return "kFailpointRegistry";
     case LockRank::kLogging: return "kLogging";
   }

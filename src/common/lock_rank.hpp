@@ -20,6 +20,9 @@
 //    300   kThreadPool         nothing (queue lock; tasks run unlocked)
 //    310   kChannel            nothing (in-memory MPMC queue)
 //    320   kFifo               nothing (per-end pipe framing lock)
+//    330   kHealth             nothing (breaker EWMA state; the
+//                              health.breaker.trip failpoint and EUGENE_LOG
+//                              both fire while it is held)
 //    900   kFailpointRegistry  any subsystem lock — EUGENE_FAILPOINT sites
 //                              fire inside locked regions (e.g. the usage
 //                              journal appends under kUsageMeter)
@@ -57,6 +60,8 @@ enum class LockRank : std::uint16_t {
   kThreadPool = 300,        ///< common/thread_pool.hpp — work queue
   kChannel = 310,           ///< common/channel.hpp — MPMC queue state
   kFifo = 320,              ///< common/fifo_channel.hpp — frame serialization
+  kHealth = 330,            ///< common/health.hpp — breaker EWMAs; failpoint +
+                            ///< logging fire under it, nothing else nests in
   kFailpointRegistry = 900, ///< common/failpoint.hpp — evaluated under locks
   kLogging = 1000,          ///< common/logging.cpp — the leaf: legal anywhere
 };

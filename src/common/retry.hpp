@@ -29,8 +29,14 @@ inline double backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt,
   EUGENE_REQUIRE(attempt >= 1, "backoff_delay_ms: attempt is 1-based");
   EUGENE_REQUIRE(policy.jitter >= 0.0 && policy.jitter <= 1.0,
                  "backoff_delay_ms: jitter outside [0,1]");
+  // Saturate the exponent: past 2^63 the double has left every representable
+  // max_delay_ms behind, and without the cap a zero base delay (0*2 == 0
+  // never reaches the max) or an infinite max would spin the loop for up to
+  // SIZE_MAX iterations — an effective hang for attempt counts a long-lived
+  // retry loop legitimately reaches.
+  const std::size_t doublings = std::min<std::size_t>(attempt - 1, 63);
   double delay = policy.base_delay_ms;
-  for (std::size_t i = 1; i < attempt && delay < policy.max_delay_ms; ++i)
+  for (std::size_t i = 0; i < doublings && delay < policy.max_delay_ms; ++i)
     delay *= 2.0;
   delay = std::min(delay, policy.max_delay_ms);
   if (policy.jitter > 0.0)

@@ -1,9 +1,13 @@
 #include "sched/live.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "common/cancellation.hpp"
 #include "common/channel.hpp"
 #include "common/check.hpp"
 #include "common/clock.hpp"
@@ -37,34 +41,53 @@ std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
 namespace {
 
 /// Scheduler → worker: run stage `stage` of task `task_id` on `features`.
+/// The token carries the task's absolute deadline and the scheduler's
+/// cancel handle; the worker checks it before starting the stage.
 struct Job {
   std::size_t task_id = 0;
   std::size_t stage = 0;
   std::uint64_t seq = 0;  ///< dispatch sequence; stale results are discarded
   Tensor features;  ///< previous stage output (or the raw input for stage 0)
+  CancellationToken token;
 };
 
 /// Worker → scheduler: the paper's end-of-stage report, plus the features
 /// the next stage needs (kept in-process; only the StageReport crosses the
-/// paper's named pipe). ok=false is a crash report: the stage threw and the
-/// worker thread is exiting, like a worker process dying.
+/// paper's named pipe). ok=false with recoverable=false is a crash report:
+/// the stage threw and the worker thread is exiting, like a worker process
+/// dying. recoverable=true is a sick-replica stage error: the worker lives.
+/// cancelled=true means the worker skipped the stage cooperatively (token
+/// cancelled, or the propagated deadline had already passed).
 struct WorkerResult {
   std::size_t worker = 0;
   std::uint64_t seq = 0;
   bool ok = true;
-  std::string error;  ///< what() of the crash, when !ok
+  bool recoverable = false;
+  bool cancelled = false;
+  std::string error;   ///< what() of the failure, when !ok
+  double stage_ms = 0.0;  ///< worker-measured stage execution time
   StageReport report;
   Tensor features;
+};
+
+/// One outstanding dispatch of a task's current stage. A task has one entry
+/// normally, two while a hedge race is in flight.
+struct InFlightDispatch {
+  std::size_t worker = 0;
+  std::uint64_t seq = 0;
+  bool hedge = false;  ///< this is the backup dispatch of a hedge pair
+  CancellationToken token;
 };
 
 struct LiveTaskState {
   Tensor features;
   std::vector<double> observed_confidence;
+  std::vector<InFlightDispatch> inflight;  ///< current-stage dispatches (≤ 2)
   std::size_t stages_done = 0;
   std::size_t last_label = 0;
   std::size_t retries = 0;
   double eligible_ms = 0.0;  ///< backoff gate: no dispatch before this time
-  bool running = false;
+  bool hedged_this_stage = false;
   bool done = false;
   bool expired = false;
   bool degraded = false;
@@ -108,12 +131,17 @@ std::vector<LiveTaskResult> run_live(
   }
   EUGENE_REQUIRE(config.lookahead >= 1, "run_live: lookahead must be >= 1");
   EUGENE_REQUIRE(config.deadline_ms > 0.0, "run_live: deadline must be positive");
+  EUGENE_REQUIRE(config.hedge_quantile > 0.0 && config.hedge_quantile <= 1.0,
+                 "run_live: hedge_quantile outside (0, 1]");
+  EUGENE_REQUIRE(config.hedge_min_samples >= 1,
+                 "run_live: hedge_min_samples must be >= 1");
 
   GpUtilityEstimator estimator(curves);
   GreedyUtilityPolicy policy(estimator, config.lookahead);
 
   std::vector<Channel<Job>> job_channels(num_workers);
   Channel<WorkerResult> results;
+  WallClock clock;
 
   // Worker body: block on the job channel, run one stage on this worker's
   // replica, report (task, stage, label, confidence) back. A throwing stage
@@ -125,10 +153,40 @@ std::vector<LiveTaskResult> run_live(
       WorkerResult res;
       res.worker = w;
       res.seq = job->seq;
+      // Designated-replica chaos seam: replica 0 is "the sick replica".
+      // kind=error injects a *recoverable* stage failure (the worker
+      // reports it and keeps serving, unlike a crash); kind=delay makes
+      // this replica a straggler.
+      if (w == 0) {
+        bool sick = false;
+        try {
+          EUGENE_FAILPOINT("live.worker.sick");
+        } catch (const FailpointError& e) {
+          res.ok = false;
+          res.recoverable = true;
+          res.error = e.what();
+          sick = true;
+        }
+        if (sick) {
+          results.send(std::move(res));
+          continue;  // sick, not dead: keep draining the job channel
+        }
+      }
+      // Cooperative cancellation + propagated deadline: never start a stage
+      // whose result is unwanted (hedge race already decided) or could not
+      // arrive in time (deadline passed). Stages cannot be interrupted
+      // mid-kernel, so this pre-stage check is the cancellation point.
+      if (job->token.should_stop(clock.now_ms())) {
+        res.cancelled = true;
+        results.send(std::move(res));
+        continue;
+      }
       try {
         EUGENE_FAILPOINT("live.worker.slow");
         EUGENE_FAILPOINT("live.worker.crash");
+        Stopwatch stage_watch;
         nn::StageOutput out = model.run_stage(job->stage, job->features);
+        res.stage_ms = stage_watch.elapsed_ms();
         res.report.task_id = static_cast<std::uint32_t>(job->task_id);
         res.report.stage = static_cast<std::uint32_t>(job->stage);
         res.report.predicted_label = static_cast<std::uint32_t>(out.predicted_label);
@@ -148,7 +206,6 @@ std::vector<LiveTaskResult> run_live(
   workers.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) workers.emplace_back(worker_main, w);
 
-  WallClock clock;
   Rng backoff_rng(0xbacc0ff);
   LiveStats local_stats;
   std::vector<LiveTaskState> tasks(inputs.size());
@@ -158,12 +215,17 @@ std::vector<LiveTaskResult> run_live(
   }
 
   std::vector<WorkerSlot> slots(num_workers);
+  // One breaker per replica, living as long as the pool: a respawned worker
+  // inherits its replica's history, so a persistently sick replica stays
+  // routed around even across respawns.
+  std::deque<CircuitBreaker> breakers;
+  for (std::size_t w = 0; w < num_workers; ++w) breakers.emplace_back(config.health);
   std::size_t respawns_left = config.max_respawns;
   std::size_t unfinished = inputs.size();
 
   auto expire_if_due = [&](std::size_t i) {
     LiveTaskState& t = tasks[i];
-    if (t.done || t.running) return;
+    if (t.done || !t.inflight.empty()) return;
     if (clock.now_ms() - t.submit_ms >= config.deadline_ms) {
       // Latency daemon: the task leaves the system with its current result.
       t.done = true;
@@ -174,18 +236,34 @@ std::vector<LiveTaskResult> run_live(
     }
   };
 
-  // The in-flight task of worker `w` lost its stage execution (crash or
-  // silence). Re-queue it after a jittered backoff while the retry budget
-  // lasts; past the budget it completes degraded with its best result so
-  // far. Marks the worker dead either way.
-  auto fail_inflight = [&](std::size_t w) {
+  // Removes the (worker, seq) dispatch from the task's in-flight set;
+  // returns it if it was still there (i.e. the race was not yet decided).
+  auto take_inflight = [&](LiveTaskState& t, std::size_t w,
+                           std::uint64_t seq) -> std::optional<InFlightDispatch> {
+    for (auto it = t.inflight.begin(); it != t.inflight.end(); ++it) {
+      if (it->worker == w && it->seq == seq) {
+        InFlightDispatch d = *it;
+        t.inflight.erase(it);
+        return d;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Worker `w`'s in-flight dispatch failed (crash, silence, or recoverable
+  // stage error). Frees the slot; if this was the task's last outstanding
+  // dispatch, re-queue it after a jittered backoff while the retry budget
+  // lasts — past the budget it completes degraded with its best result so
+  // far. A still-racing hedge twin keeps the task alive without charging
+  // the budget. The caller decides deadness and breaker bookkeeping.
+  auto fail_dispatch = [&](std::size_t w) {
     WorkerSlot& slot = slots[w];
-    slot.dead = true;
     if (!slot.busy) return;
     slot.busy = false;
     LiveTaskState& t = tasks[slot.task];
-    if (t.done) return;
-    t.running = false;
+    const auto entry = take_inflight(t, w, slot.seq);
+    if (!entry.has_value() || t.done) return;
+    if (!t.inflight.empty()) return;  // the hedge twin is still racing
     const double now = clock.now_ms();
     if (now - t.submit_ms >= config.deadline_ms) {
       t.done = true;
@@ -197,6 +275,7 @@ std::vector<LiveTaskResult> run_live(
       ++t.retries;
       ++local_stats.retries;
       t.eligible_ms = now + backoff_delay_ms(config.retry, t.retries, backoff_rng);
+      t.hedged_this_stage = false;  // the re-dispatch may hedge again
     } else {
       t.done = true;
       t.degraded = true;
@@ -218,15 +297,55 @@ std::vector<LiveTaskResult> run_live(
   };
 
   std::uint64_t next_seq = 1;
-  auto dispatch = [&]() {
+  auto dispatch_to = [&](std::size_t w, std::size_t task, bool hedge) {
+    LiveTaskState& t = tasks[task];
+    Job job;
+    job.task_id = task;
+    job.stage = t.stages_done;
+    job.seq = next_seq++;
+    job.features = t.features;
+    // Deadline propagation: the worker sees the task's absolute deadline
+    // and the scheduler keeps a cancel handle for the hedge race.
+    job.token = CancellationToken(t.submit_ms + config.deadline_ms);
+    t.inflight.push_back({w, job.seq, hedge, job.token});
+    WorkerSlot& slot = slots[w];
+    slot.busy = true;
+    slot.seq = job.seq;
+    slot.task = task;
+    slot.dispatched_ms = clock.now_ms();
+    job_channels[w].send(std::move(job));
+  };
+
+  // Free workers whose breakers admit traffic, healthiest first (error-rate
+  // EWMA dominates, latency EWMA breaks ties). Routing around an open
+  // breaker is what spares the retry budget on a sick replica.
+  auto ready_workers_ranked = [&](double now) {
+    std::vector<std::size_t> ready;
     for (std::size_t w = 0; w < num_workers; ++w) {
       if (slots[w].busy || slots[w].dead) continue;
+      if (config.health.enabled && !breakers[w].allow(now)) {
+        ++local_stats.breaker_skips;
+        continue;
+      }
+      ready.push_back(w);
+    }
+    std::stable_sort(ready.begin(), ready.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return breakers[a].score() < breakers[b].score();
+                     });
+    return ready;
+  };
+
+  auto dispatch = [&]() {
+    for (;;) {
       const double now = clock.now_ms();
+      const auto ready = ready_workers_ranked(now);
+      if (ready.empty()) return;
       std::vector<TaskView> runnable;
       for (std::size_t i = 0; i < tasks.size(); ++i) {
         expire_if_due(i);
         const LiveTaskState& t = tasks[i];
-        if (t.done || t.running || t.stages_done >= num_stages) continue;
+        if (t.done || !t.inflight.empty() || t.stages_done >= num_stages) continue;
         if (now < t.eligible_ms) continue;  // still backing off
         TaskView v;
         v.task_id = i;
@@ -241,19 +360,66 @@ std::vector<LiveTaskResult> run_live(
       if (runnable.empty()) return;
       const auto choice = policy.pick(runnable, now);
       if (!choice.has_value()) return;
-      LiveTaskState& t = tasks[*choice];
-      t.running = true;
-      Job job;
-      job.task_id = *choice;
-      job.stage = t.stages_done;
-      job.seq = next_seq++;
-      job.features = t.features;
+      dispatch_to(ready.front(), *choice, /*hedge=*/false);
+    }
+  };
+
+  // Sliding window of recent dispatch-to-result latencies, feeding the
+  // hedge threshold quantile.
+  std::vector<double> lat_window;
+  std::size_t lat_next = 0;
+  constexpr std::size_t kLatWindow = 64;
+  auto note_latency = [&](double ms) {
+    if (lat_window.size() < kLatWindow) {
+      lat_window.push_back(ms);
+    } else {
+      lat_window[lat_next] = ms;
+      lat_next = (lat_next + 1) % kLatWindow;
+    }
+  };
+  auto latency_quantile = [&](double q) {
+    std::vector<double> sorted = lat_window;
+    const auto k = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                         q * static_cast<double>(sorted.size())));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k), sorted.end());
+    return sorted[k];
+  };
+
+  // Hedge sweep: a dispatch out longer than the observed latency quantile
+  // gets one backup dispatch of the same stage on the healthiest free
+  // replica. First result wins; the loser is cancelled through its token
+  // and its eventual report is recognized by sequence number and dropped.
+  auto maybe_hedge = [&]() {
+    if (!config.hedging || lat_window.size() < config.hedge_min_samples) return;
+    const double now = clock.now_ms();
+    const double threshold =
+        std::max(latency_quantile(config.hedge_quantile), config.hedge_min_ms);
+    for (std::size_t w = 0; w < num_workers; ++w) {
       WorkerSlot& slot = slots[w];
-      slot.busy = true;
-      slot.seq = job.seq;
-      slot.task = *choice;
-      slot.dispatched_ms = now;
-      job_channels[w].send(std::move(job));
+      if (!slot.busy || slot.dead) continue;
+      if (now - slot.dispatched_ms < threshold) continue;
+      LiveTaskState& t = tasks[slot.task];
+      if (t.done || t.hedged_this_stage || t.inflight.size() != 1) continue;
+      if (t.inflight.front().worker != w || t.inflight.front().seq != slot.seq)
+        continue;
+      const auto ready = ready_workers_ranked(now);
+      if (ready.empty()) continue;  // no spare healthy replica: no hedge
+      t.hedged_this_stage = true;
+      ++local_stats.hedges_issued;
+      const std::size_t task = slot.task;
+      dispatch_to(ready.front(), task, /*hedge=*/true);
+      EUGENE_LOG(Debug) << "live: hedging task " << task << " stage "
+                        << t.stages_done << " (worker " << w << " out "
+                        << (now - slot.dispatched_ms) << " ms, threshold "
+                        << threshold << " ms) on worker " << ready.front();
+      if (EUGENE_FAILPOINT_FIRED("hedge.lose.race")) {
+        // Chaos seam: force the primary to lose so the loser-cancellation
+        // path runs deterministically.
+        for (auto& d : tasks[task].inflight)
+          if (d.worker == w) d.token.cancel();
+      }
     }
   };
 
@@ -275,7 +441,9 @@ std::vector<LiveTaskResult> run_live(
                            << (now - slots[w].dispatched_ms)
                            << " ms; abandoning it and re-queueing task "
                            << slots[w].task;
-          fail_inflight(w);
+          slots[w].dead = true;
+          breakers[w].record_failure(now);
+          fail_dispatch(w);
         }
       }
     }
@@ -297,51 +465,117 @@ std::vector<LiveTaskResult> run_live(
       break;
     }
 
+    maybe_hedge();
     dispatch();
 
     bool any_running = false;
-    for (const auto& t : tasks) any_running |= t.running;
-    if (!any_running) {
-      if (unfinished > 0) {
-        // Everything left waits on a deadline or a backoff window: poll.
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
-      }
-      break;
-    }
+    for (const WorkerSlot& s : slots) any_running |= s.busy && !s.dead;
 
-    // Bounded wait so deadline expiry and heartbeat sweeps run even when
-    // every worker has gone silent.
-    auto res = results.receive_for(5.0);
+    // Bounded wait so deadline expiry, heartbeat sweeps, breaker cooldowns,
+    // and hedge decisions all run even when every worker has gone silent.
+    // With nothing in flight (everything waits on a deadline, a backoff
+    // window, or a breaker cooldown) poll faster; the CondVar inside the
+    // channel keeps this cancellation-aware — a result or close() wakes it
+    // immediately, unlike the raw sleep this replaces.
+    double wait_ms = any_running ? 5.0 : 1.0;
+    // Hedge-aware wake: when a spare healthy replica exists, wake exactly
+    // when the oldest hedgeable dispatch crosses the hedge threshold —
+    // otherwise a quiet pool (every task pending on one straggler) would
+    // snooze the full fallback and hedge late. With no spare replica there
+    // is nothing to hedge onto, and the result that frees one wakes us.
+    if (config.hedging && lat_window.size() >= config.hedge_min_samples) {
+      const double now = clock.now_ms();
+      if (!ready_workers_ranked(now).empty()) {
+        const double threshold =
+            std::max(latency_quantile(config.hedge_quantile), config.hedge_min_ms);
+        for (std::size_t w = 0; w < num_workers; ++w) {
+          const WorkerSlot& s = slots[w];
+          if (!s.busy || s.dead) continue;
+          const LiveTaskState& t = tasks[s.task];
+          if (t.done || t.hedged_this_stage) continue;
+          const double until = s.dispatched_ms + threshold - now;
+          wait_ms = std::min(wait_ms, std::max(until, 0.1));
+        }
+      }
+    }
+    auto res = results.receive_for(wait_ms);
     if (!res.has_value()) continue;
     EUGENE_CHECK_LT(res->worker, num_workers) << "stage report from unknown worker";
     WorkerSlot& slot = slots[res->worker];
     const bool current = slot.busy && !slot.dead && res->seq == slot.seq;
     if (!current) continue;  // stale report from an abandoned worker
 
+    const double now = clock.now_ms();
+    const std::size_t task_id = slot.task;
+    LiveTaskState& t = tasks[task_id];
+
+    if (res->cancelled) {
+      // The worker honored a cancellation (hedge race decided against it,
+      // or the propagated deadline had passed). No breaker penalty: the
+      // replica did nothing wrong. Only a dispatch still in the in-flight
+      // set counts as newly cancelled — a decided hedge race already
+      // counted its loser when the winner was processed.
+      slot.busy = false;
+      if (take_inflight(t, res->worker, res->seq).has_value())
+        ++local_stats.cancelled;
+      dispatch();
+      continue;
+    }
+
+    if (!res->ok && res->recoverable) {
+      // Sick-replica stage error: the worker lives, the dispatch failed.
+      ++local_stats.worker_errors;
+      breakers[res->worker].record_failure(now);
+      EUGENE_LOG(Warn) << "live: worker " << res->worker
+                       << " failed a stage of task " << task_id
+                       << " (recoverable): " << res->error;
+      fail_dispatch(res->worker);
+      dispatch();
+      continue;
+    }
+
     if (!res->ok) {
       ++local_stats.worker_crashes;
+      breakers[res->worker].record_failure(now);
       EUGENE_LOG(Warn) << "live: worker " << res->worker
-                       << " crashed running task " << slot.task << ": "
+                       << " crashed running task " << task_id << ": "
                        << res->error;
-      fail_inflight(res->worker);
+      slot.dead = true;
+      fail_dispatch(res->worker);
       maybe_respawn(res->worker);
       dispatch();
       continue;
     }
 
+    // Successful stage execution: good for the replica's health either way,
+    // and a fresh latency observation for the hedge threshold.
+    breakers[res->worker].record_success(res->stage_ms, now);
+    note_latency(now - slot.dispatched_ms);
+    slot.busy = false;
+    const auto won = take_inflight(t, res->worker, res->seq);
+    if (!won.has_value()) {
+      // Hedge-race loser: its twin already advanced the task. The result is
+      // valid but redundant; the sequence bookkeeping keeps it out of task
+      // state (no result races).
+      dispatch();
+      continue;
+    }
+    if (won->hedge) ++local_stats.hedges_won;
+    // Decide the race: cancel any still-outstanding twin cooperatively
+    // (counted now, when the race is decided — the loser's acknowledgment
+    // may arrive after the batch completes). Its eventual report (success,
+    // cancelled, or crash) is handled above as a non-in-flight event.
+    local_stats.cancelled += t.inflight.size();
+    for (auto& d : t.inflight) d.token.cancel();
+    t.inflight.clear();
+    t.hedged_this_stage = false;
+
     // The report crosses a (possibly named-pipe) channel boundary: validate
     // it before indexing scheduler state with it.
-    EUGENE_CHECK_LT(res->report.task_id, tasks.size())
-        << "stage report for unknown task";
-    slot.busy = false;
-    LiveTaskState& t = tasks[res->report.task_id];
-    EUGENE_CHECK(t.running) << "stage report for task " << res->report.task_id
-                            << " which has no stage in flight";
+    EUGENE_CHECK_EQ(res->report.task_id, task_id)
+        << "stage report names a task other than its dispatch";
     EUGENE_CHECK_EQ(res->report.stage, t.stages_done)
-        << "out-of-order stage report for task " << res->report.task_id;
-    t.running = false;
-    const double now = clock.now_ms();
+        << "out-of-order stage report for task " << task_id;
     const bool late = now - t.submit_ms >= config.deadline_ms;
     if (!t.done) {
       if (!late) {
@@ -374,6 +608,7 @@ std::vector<LiveTaskResult> run_live(
   for (auto& th : workers) th.join();
   results.close();
 
+  for (const auto& b : breakers) local_stats.breaker_trips += b.trips();
   if (stats != nullptr) *stats = local_stats;
 
   std::vector<LiveTaskResult> out(tasks.size());

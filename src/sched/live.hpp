@@ -16,14 +16,31 @@
 // retries and exponential backoff + jitter, and — for crashes — the pool can
 // respawn a replacement on the idle replica. A task whose retry budget runs
 // out completes *degraded*: it answers with its best in-deadline result
-// rather than failing. Chaos seams: failpoints `live.worker.crash` and
-// `live.worker.slow` fire inside the worker loop.
+// rather than failing.
+//
+// Overload control (DESIGN.md §11): every replica carries a CircuitBreaker
+// scoring its error-rate and stage-latency EWMAs. Dispatch routes around
+// open breakers (a sick replica stops eating retry budget) and prefers the
+// healthiest free replica. With hedging enabled, a dispatch that outlives
+// the observed stage-latency quantile gets a backup dispatch of the same
+// stage on a second healthy replica; the first result wins (seq-stamped, so
+// there is no result race) and the loser is cancelled cooperatively through
+// the CancellationToken every dispatch carries — which also propagates the
+// task's absolute deadline to the worker, so a worker never starts a stage
+// whose result could not arrive in time.
+//
+// Chaos seams: `live.worker.crash` / `live.worker.slow` fire inside every
+// worker loop; `live.worker.sick` fires only on replica 0 (the designated
+// sick replica: arm kind=error for recoverable stage failures, kind=delay
+// for a straggler); `hedge.lose.race` forces the primary dispatch to lose a
+// hedge race; `health.breaker.trip` force-trips a breaker from record().
 #pragma once
 
 #include <functional>
 #include <limits>
 #include <memory>
 
+#include "common/health.hpp"
 #include "common/retry.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/staged_model.hpp"
@@ -43,6 +60,19 @@ struct LiveConfig {
       std::numeric_limits<double>::infinity();  ///< silence → worker is dead
   std::size_t max_respawns = 0;  ///< replacement workers spawned after crashes
   RetryPolicy retry;             ///< backoff shape between re-dispatches
+
+  // Health-scored routing (DESIGN.md §11): per-replica circuit breakers.
+  // health.enabled=false falls back to PR2's route-anywhere behavior.
+  HealthConfig health;
+
+  // Hedged dispatch: when a dispatch has been out longer than the
+  // hedge_quantile of recent dispatch latencies (never less than
+  // hedge_min_ms), issue one backup dispatch of the same stage to a second
+  // healthy replica. Needs hedge_min_samples observations before any hedge.
+  bool hedging = false;
+  double hedge_quantile = 0.95;
+  double hedge_min_ms = 1.0;
+  std::size_t hedge_min_samples = 8;
 };
 
 /// Final outcome of one live task.
@@ -66,6 +96,15 @@ struct LiveStats {
   std::size_t retries = 0;          ///< task re-dispatches
   std::size_t degraded = 0;         ///< tasks finished on an exhausted budget
   std::size_t expired = 0;          ///< tasks finished by the latency daemon
+
+  // Overload-control counters (DESIGN.md §11).
+  std::size_t worker_errors = 0;    ///< recoverable stage errors (sick replica)
+  std::size_t breaker_trips = 0;    ///< breaker transitions to open
+  std::size_t breaker_skips = 0;    ///< dispatch scans routed around an open breaker
+  std::size_t hedges_issued = 0;    ///< backup dispatches sent
+  std::size_t hedges_won = 0;       ///< races the backup dispatch won
+  std::size_t cancelled = 0;        ///< dispatches cancelled cooperatively
+                                    ///< (hedge losers + deadline skips)
 };
 
 /// Runs a batch of inputs through per-worker replicas of a staged model,

@@ -1,6 +1,7 @@
 #include "serving/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/clock.hpp"
@@ -23,6 +24,17 @@ InferenceServer::InferenceServer(ModelEntry& entry, ServerConfig config)
                  "InferenceServer: shed requests need at least one stage");
   EUGENE_REQUIRE(config_.shed_confidence <= 1.0,
                  "InferenceServer: shed_confidence above 1 would never stop");
+  const BrownoutConfig& bo = config_.brownout;
+  EUGENE_REQUIRE(bo.setpoint_fraction > 0.0,
+                 "InferenceServer: brownout setpoint_fraction must be positive");
+  EUGENE_REQUIRE(bo.setpoint_ms >= 0.0,
+                 "InferenceServer: brownout setpoint_ms must be non-negative");
+  EUGENE_REQUIRE(bo.capacity_step >= 0.0 && bo.capacity_step <= 1.0,
+                 "InferenceServer: brownout capacity_step outside [0,1]");
+  EUGENE_REQUIRE(bo.confidence_step >= 0.0,
+                 "InferenceServer: brownout confidence_step must be non-negative");
+  EUGENE_REQUIRE(bo.recover_ratio >= 0.0 && bo.recover_ratio < 1.0,
+                 "InferenceServer: brownout recover_ratio outside [0,1)");
 }
 
 namespace {
@@ -36,6 +48,8 @@ struct RequestState {
   bool done = false;
   bool expired = false;
   bool degraded = false;
+  bool browned_out = false;
+  double first_stage_ms = -1.0;  ///< admission-to-first-stage queue delay
   double finish_ms = 0.0;
 };
 
@@ -94,24 +108,56 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     }
   };
 
-  // Admission control: everything past the capacity is shed, not rejected.
-  // A shed request answers from the earliest exit that clears
-  // shed_confidence (bounded by shed_max_stages) — the cheapest valid
-  // answer the multi-exit model can give.
-  const bool overloaded =
-      config_.admission_capacity > 0 && requests.size() > config_.admission_capacity;
+  // Adaptive admission (DESIGN.md §11): the brown-out level — escalated by
+  // the controller at the end of earlier batches, or forced by the
+  // admit.brownout.force chaos seam — shrinks the effective capacity and
+  // cheapens the shed answer. At level 0 this is exactly the static
+  // admission controller; the static capacity is always the hard ceiling.
+  const BrownoutConfig& bo = config_.brownout;
+  if (bo.enabled && EUGENE_FAILPOINT_FIRED("admit.brownout.force"))
+    brownout_level_ = std::min(brownout_level_ + 1, bo.max_level);
+  const std::size_t level = bo.enabled ? brownout_level_ : 0;
+  const std::size_t base_capacity = config_.admission_capacity > 0
+                                        ? config_.admission_capacity
+                                        : requests.size();
+  std::size_t eff_capacity = base_capacity;
+  double eff_shed_confidence = config_.shed_confidence;
+  std::size_t eff_shed_stages = config_.shed_max_stages;
+  if (level > 0) {
+    const double keep =
+        std::max(0.0, 1.0 - static_cast<double>(level) * bo.capacity_step);
+    eff_capacity = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(static_cast<double>(base_capacity) * keep)));
+    eff_capacity = std::min(eff_capacity, base_capacity);
+    eff_shed_confidence = std::max(
+        0.0, config_.shed_confidence -
+                 static_cast<double>(level) * bo.confidence_step);
+    eff_shed_stages =
+        config_.shed_max_stages > level ? config_.shed_max_stages - level : 1;
+  }
+
+  // Admission control: everything past the effective capacity is shed, not
+  // rejected. A shed request answers from the earliest exit that clears the
+  // (possibly browned-out) shed confidence, bounded by the stage budget —
+  // the cheapest valid answer the multi-exit model can give.
+  const bool overloaded = requests.size() > eff_capacity;
   std::size_t remaining = requests.size();
   if (overloaded) {
     EUGENE_LOG(Warn) << "serving: batch of " << requests.size() << " exceeds "
-                     << "admission capacity " << config_.admission_capacity
-                     << "; shedding " << (requests.size() - config_.admission_capacity)
+                     << "effective admission capacity " << eff_capacity
+                     << " (brown-out level " << level << "); shedding "
+                     << (requests.size() - eff_capacity)
                      << " request(s) to the earliest confident exit";
-    const std::size_t stage_budget = std::min(config_.shed_max_stages, num_stages);
-    for (std::size_t i = config_.admission_capacity; i < requests.size(); ++i) {
+    const std::size_t stage_budget = std::min(eff_shed_stages, num_stages);
+    for (std::size_t i = eff_capacity; i < requests.size(); ++i) {
       RequestState& s = state[i];
+      // browned_out marks the requests the *controller* shed: those the
+      // static ceiling alone would have admitted.
+      s.browned_out = i < base_capacity;
       while (!s.done && s.stages_done < stage_budget) {
         if (!run_stage_guarded(i)) break;
-        if (s.observed.back() >= config_.shed_confidence) break;
+        if (s.observed.back() >= eff_shed_confidence) break;
       }
       if (!s.done) {
         s.done = true;
@@ -159,6 +205,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     EUGENE_CHECK(choice.has_value()) << "process_batch: policy returned no task";
 
     RequestState& s = state[*choice];
+    if (s.first_stage_ms < 0.0) s.first_stage_ms = now;  // queue delay sample
     if (!run_stage_guarded(*choice)) {
       --remaining;
       continue;
@@ -172,6 +219,42 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     }
   }
 
+  // Feed the measured queue delay back into the brown-out controller: the
+  // class-weighted mean admission-to-first-stage delay of the admitted
+  // requests, against the class-weighted setpoint. Over the setpoint the
+  // level escalates (shedding more next batch); comfortably under it
+  // (recover_ratio hysteresis) the level steps back down.
+  if (bo.enabled) {
+    double weighted_delay = 0.0;
+    double weighted_setpoint = 0.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (state[i].first_stage_ms < 0.0) continue;  // shed or never scheduled
+      const ServiceClassConfig& cls = config_.classes[requests[i].service_class];
+      const double setpoint = std::isfinite(cls.deadline_ms)
+                                  ? cls.deadline_ms * bo.setpoint_fraction
+                                  : bo.setpoint_ms;
+      weighted_delay += cls.utility_weight * state[i].first_stage_ms;
+      weighted_setpoint += cls.utility_weight * setpoint;
+    }
+    if (weighted_setpoint > 0.0 || weighted_delay > 0.0) {
+      const double ratio =
+          weighted_setpoint > 0.0
+              ? weighted_delay / weighted_setpoint
+              : std::numeric_limits<double>::infinity();
+      if (ratio > 1.0 && brownout_level_ < bo.max_level) {
+        ++brownout_level_;
+        EUGENE_LOG(Warn) << "serving: queue delay at " << ratio
+                         << "x the setpoint; brown-out escalates to level "
+                         << brownout_level_;
+      } else if (ratio < bo.recover_ratio && brownout_level_ > 0) {
+        --brownout_level_;
+        EUGENE_LOG(Info) << "serving: queue delay at " << ratio
+                         << "x the setpoint; brown-out recovers to level "
+                         << brownout_level_;
+      }
+    }
+  }
+
   std::vector<InferenceResponse> responses(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     responses[i].label = state[i].label;
@@ -179,6 +262,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     responses[i].stages_run = state[i].stages_done;
     responses[i].expired = state[i].expired;
     responses[i].degraded = state[i].degraded;
+    responses[i].browned_out = state[i].browned_out;
     responses[i].retries = state[i].retries;
     responses[i].latency_ms = state[i].finish_ms;
   }

@@ -42,8 +42,37 @@ struct InferenceResponse {
   std::size_t stages_run = 0;
   bool expired = false;    ///< deadline hit before full/confident completion
   bool degraded = false;   ///< shed under overload or stage-failure budget spent
+  bool browned_out = false;  ///< shed by the adaptive admission controller
+                             ///< (would have been admitted at level 0)
   std::size_t retries = 0; ///< stage re-executions consumed by faults
   double latency_ms = 0.0;
+};
+
+/// Adaptive admission (brown-out) knobs, DESIGN.md §11.
+///
+/// The controller watches the admission-to-first-stage queue delay of each
+/// batch against a class-weighted setpoint and keeps a persistent brown-out
+/// *level*. Each level progressively lowers the effective admission capacity,
+/// shed-confidence bar, and shed stage budget, so an overloaded server sheds
+/// more work to cheaper answers instead of queueing itself past every
+/// deadline. Recovery is hysteretic: the level only steps down when the
+/// measured delay falls well below the setpoint (recover_ratio), preventing
+/// flapping at the boundary. The static admission_capacity stays the hard
+/// ceiling — brown-out only ever shrinks the effective capacity.
+struct BrownoutConfig {
+  bool enabled = true;
+  std::size_t max_level = 3;
+  /// Setpoint for a finite-deadline class: fraction of its deadline the
+  /// queue delay may consume before escalation.
+  double setpoint_fraction = 0.25;
+  /// Absolute setpoint (ms) for classes with an infinite deadline.
+  double setpoint_ms = 50.0;
+  /// Fraction of the base capacity removed per level.
+  double capacity_step = 0.25;
+  /// Amount shed_confidence drops per level (cheaper shed answers).
+  double confidence_step = 0.1;
+  /// Delay/setpoint ratio below which the level steps back down.
+  double recover_ratio = 0.5;
 };
 
 /// Server knobs.
@@ -53,10 +82,13 @@ struct ServerConfig {
   std::size_t lookahead = 1;            ///< RTDeepIoT k
 
   // Graceful degradation (DESIGN.md §8 "Failure model").
-  std::size_t admission_capacity = 0;   ///< >0: requests beyond this are shed
+  std::size_t admission_capacity = 0;   ///< >0: hard ceiling; beyond it → shed
   double shed_confidence = 0.0;         ///< shed requests stop at this confidence
   std::size_t shed_max_stages = 1;      ///< stage budget for a shed request
   std::size_t max_stage_retries = 2;    ///< re-runs of a throwing stage per request
+
+  // Adaptive admission (DESIGN.md §11 "Overload & health model").
+  BrownoutConfig brownout;
 };
 
 /// Schedules a batch of concurrent requests over one model instance,
@@ -69,15 +101,23 @@ class InferenceServer {
   InferenceServer(ModelEntry& entry, ServerConfig config);
 
   /// Processes all requests as one concurrent batch. Requests admitted past
-  /// admission_capacity are shed: they answer from the earliest confident
-  /// exit and come back flagged degraded=true instead of being rejected.
+  /// the effective capacity (the static admission_capacity lowered by the
+  /// current brown-out level) are shed: they answer from the earliest
+  /// confident exit and come back flagged degraded=true — and browned_out
+  /// when the brown-out level, not the static ceiling, shed them. Each call
+  /// also feeds the measured queue delay back into the brown-out controller.
+  /// Chaos seam: `admit.brownout.force` escalates the level at batch start.
   std::vector<InferenceResponse> process_batch(const std::vector<InferenceRequest>& requests);
 
   const ServerConfig& config() const { return config_; }
 
+  /// Current brown-out level (0 = full service). Persistent across batches.
+  std::size_t brownout_level() const { return brownout_level_; }
+
  private:
   ModelEntry& entry_;
   ServerConfig config_;
+  std::size_t brownout_level_ = 0;
 };
 
 }  // namespace eugene::serving

@@ -16,10 +16,16 @@ namespace eugene::serving {
 namespace {
 
 constexpr std::uint32_t kJournalMagic = 0x4A475545;  // "EUGJ"
-constexpr std::uint32_t kJournalVersion = 1;
+// v1: 7-field class rows, no ops block. v2: rows gain brownout_sheds and
+// every frame ends in an OpsUsage block. New journals are written v2;
+// appends to an existing file stay in that file's header version.
+constexpr std::uint32_t kJournalVersion = 2;
 
-/// One journal frame: the per-class deltas of a single record() batch.
-std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta) {
+/// One journal frame: the per-class deltas of a single record() batch (plus,
+/// in v2, the service-wide ops-counter delta), encoded in `version` format.
+std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta,
+                                       const OpsUsage& ops,
+                                       std::uint32_t version) {
   io::ByteWriter w;
   std::uint64_t touched = 0;
   for (const auto& d : delta) touched += d.requests > 0 ? 1 : 0;
@@ -35,6 +41,12 @@ std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta) {
     w.u64(d.early_exits);
     w.u64(d.shed);
     w.u64(d.retries);
+    if (version >= 2) w.u64(d.brownout_sheds);
+  }
+  if (version >= 2) {
+    w.u64(ops.hedges_issued);
+    w.u64(ops.hedges_won);
+    w.u64(ops.breaker_trips);
   }
   return w.take();
 }
@@ -43,6 +55,7 @@ std::vector<std::uint8_t> encode_frame(const std::vector<ClassUsage>& delta) {
 struct JournalScan {
   std::size_t committed = 0;  ///< header + fully committed frames, in bytes
   bool truncated = false;     ///< the file ends in a torn tail
+  std::uint32_t version = 0;  ///< header version (0 when headerless/torn)
   /// (payload, length) views into the scanned bytes, one per committed frame.
   std::vector<std::pair<const std::uint8_t*, std::uint32_t>> frames;
 };
@@ -68,6 +81,7 @@ JournalScan scan_journal(const std::vector<std::uint8_t>& bytes,
   if (version == 0 || version > kJournalVersion)
     throw CorruptionError("usage journal " + path + ": unsupported version " +
                           std::to_string(version));
+  scan.version = version;
   scan.committed = 8;
   while (scan.committed < bytes.size()) {
     const std::size_t pos = scan.committed;
@@ -146,6 +160,7 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
       u.compute_ms += costs_.stage_ms[s];
     u.expired += responses[i].expired ? 1 : 0;
     u.shed += responses[i].degraded ? 1 : 0;
+    u.brownout_sheds += responses[i].browned_out ? 1 : 0;
     u.retries += responses[i].retries;
     u.early_exits += (!responses[i].expired && !responses[i].degraded &&
                       responses[i].stages_run < model_num_stages)
@@ -161,9 +176,26 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
     u.expired += d.expired;
     u.early_exits += d.early_exits;
     u.shed += d.shed;
+    u.brownout_sheds += d.brownout_sheds;
     u.retries += d.retries;
   }
-  if (journal_fd_ >= 0) append_frame_locked(delta);
+  if (journal_fd_ >= 0) append_frame_locked(delta, OpsUsage{});
+}
+
+void UsageMeter::record_ops(const OpsUsage& delta) {
+  MutexLock lock(mutex_);
+  ops_.hedges_issued += delta.hedges_issued;
+  ops_.hedges_won += delta.hedges_won;
+  ops_.breaker_trips += delta.breaker_trips;
+  // A v1 journal has no ops block; the delta stays in-memory only there
+  // rather than making the file unreadable to v1 readers.
+  if (journal_fd_ >= 0 && journal_version_ >= 2)
+    append_frame_locked(std::vector<ClassUsage>(usage_.size()), delta);
+}
+
+OpsUsage UsageMeter::ops() const {
+  MutexLock lock(mutex_);
+  return ops_;
 }
 
 UsageMeter::~UsageMeter() {
@@ -179,10 +211,16 @@ void UsageMeter::open_journal(const std::string& path) {
   // file back to its committed prefix first.
   std::size_t committed = 0;
   std::size_t on_disk = 0;
+  std::uint32_t version = kJournalVersion;
   if (io::file_exists(path)) {
     const std::vector<std::uint8_t> bytes = io::read_file_bytes(path);
     on_disk = bytes.size();
-    committed = scan_journal(bytes, path).committed;
+    const JournalScan scan = scan_journal(bytes, path);
+    committed = scan.committed;
+    // Version gate: keep appending in the file's own header version so the
+    // journal never mixes frame encodings (a torn/fresh header re-writes
+    // as current).
+    if (committed >= 8) version = scan.version;
   }
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0)
@@ -196,6 +234,7 @@ void UsageMeter::open_journal(const std::string& path) {
   }
   if (journal_fd_ >= 0) ::close(journal_fd_);
   journal_fd_ = fd;
+  journal_version_ = version;
   if (committed < 8) {  // brand-new file, or a header the crash tore
     const std::uint32_t header[2] = {kJournalMagic, kJournalVersion};
     write_all(journal_fd_, reinterpret_cast<const std::uint8_t*>(header),
@@ -206,8 +245,10 @@ void UsageMeter::open_journal(const std::string& path) {
                   std::strerror(errno));
 }
 
-void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta) {
-  const std::vector<std::uint8_t> payload = encode_frame(delta);
+void UsageMeter::append_frame_locked(const std::vector<ClassUsage>& delta,
+                                     const OpsUsage& ops_delta) {
+  const std::vector<std::uint8_t> payload =
+      encode_frame(delta, ops_delta, journal_version_);
   io::ByteWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(crc32(payload.data(), payload.size()));
@@ -258,6 +299,12 @@ JournalReplay UsageMeter::replay_journal_image(const std::vector<std::uint8_t>& 
       u.early_exits += r.u64();
       u.shed += r.u64();
       u.retries += r.u64();
+      if (scan.version >= 2) u.brownout_sheds += r.u64();
+    }
+    if (scan.version >= 2) {
+      ops_.hedges_issued += r.u64();
+      ops_.hedges_won += r.u64();
+      ops_.breaker_trips += r.u64();
     }
     r.expect_exhausted();
     ++result.frames;

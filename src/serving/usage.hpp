@@ -9,6 +9,7 @@
 // an itemized cost report.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@ struct ClassUsage {
   std::size_t early_exits = 0;
   std::size_t shed = 0;      ///< degraded responses (overload or fault budget)
   std::size_t retries = 0;   ///< stage re-executions consumed by faults
+  std::size_t brownout_sheds = 0;  ///< of `shed`: shed by the brown-out
+                                   ///< controller (journal v2+)
 
   double mean_stages() const {
     return requests == 0 ? 0.0
@@ -42,6 +45,14 @@ struct ClassUsage {
 struct PricingPolicy {
   double per_compute_ms = 0.01;
   double per_request = 0.05;
+};
+
+/// Service-wide (not per-class) overload-control counters, DESIGN.md §11.
+/// Journaled as the trailing ops block of v2 frames.
+struct OpsUsage {
+  std::size_t hedges_issued = 0;  ///< backup dispatches sent
+  std::size_t hedges_won = 0;     ///< hedge races the backup won
+  std::size_t breaker_trips = 0;  ///< circuit-breaker transitions to open
 };
 
 /// Outcome of replaying a usage journal (DESIGN.md §9): how many batch
@@ -64,6 +75,14 @@ struct JournalReplay {
 /// truncates any torn tail left by a crash mid-append, so the recovery cycle
 /// (replay, reopen, record) can repeat across any number of crashes.
 /// Failpoint seam: usage.journal.torn cuts a frame short mid-append.
+///
+/// Journal versioning: v1 frames carry the original 7-field class rows; v2
+/// (current) rows add brownout_sheds and every v2 frame ends in an ops block
+/// (hedges, breaker trips). The reader accepts both. The *writer* is gated
+/// on the attached file's header version: appends to an existing v1 journal
+/// stay v1-encoded (mixed-version files would be unreadable to old readers),
+/// which means brownout_sheds and ops deltas are not durable on a v1 file —
+/// they are accumulated in memory only and dropped from the encoded frame.
 class UsageMeter {
  public:
   /// `costs` is the model's profiled per-stage execution time; `classes`
@@ -78,6 +97,14 @@ class UsageMeter {
   void record(const std::vector<InferenceRequest>& requests,
               const std::vector<InferenceResponse>& responses,
               std::size_t model_num_stages) EUGENE_EXCLUDES(mutex_);
+
+  /// Records a delta of service-wide overload-control counters (e.g. one
+  /// run_live's LiveStats). Journaled as a class-less v2 frame when a v2
+  /// journal is attached; accumulated in memory only on a v1 journal.
+  void record_ops(const OpsUsage& delta) EUGENE_EXCLUDES(mutex_);
+
+  /// Snapshot of the service-wide overload-control counters.
+  OpsUsage ops() const EUGENE_EXCLUDES(mutex_);
 
   /// Attaches the append-only journal at `path` (created with a versioned
   /// header if new). An existing journal is scanned first and truncated to
@@ -119,13 +146,17 @@ class UsageMeter {
                        const PricingPolicy& pricing) const
       EUGENE_REQUIRES(mutex_);
 
-  void append_frame_locked(const std::vector<ClassUsage>& delta)
-      EUGENE_REQUIRES(mutex_);
+  void append_frame_locked(const std::vector<ClassUsage>& delta,
+                           const OpsUsage& ops_delta) EUGENE_REQUIRES(mutex_);
 
   sched::StageCostModel costs_;  ///< immutable after construction
   mutable Mutex mutex_{LockRank::kUsageMeter, "UsageMeter::mutex_"};
   std::vector<ClassUsage> usage_ EUGENE_GUARDED_BY(mutex_);
+  OpsUsage ops_ EUGENE_GUARDED_BY(mutex_);
   int journal_fd_ EUGENE_GUARDED_BY(mutex_) = -1;  ///< -1 when detached
+  /// Header version of the attached journal file; frames append in this
+  /// version so a file never mixes encodings.
+  std::uint32_t journal_version_ EUGENE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace eugene::serving

@@ -534,6 +534,258 @@ TEST(Fault, LiveRejectsInvalidInputsUpFront) {
 }
 
 // ---------------------------------------------------------------------------
+// Overload control: breakers, hedging, cancellation (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+TEST(Fault, LiveSickReplicaBreakerOpensAndRoutesAround) {
+  FailpointGuard guard;
+  // Replica 0 is the designated sick replica: every stage it runs fails
+  // recoverably (the worker lives, unlike a crash).
+  FailpointRegistry::instance().arm("live.worker.sick", FailpointSpec{});  // p=1, ∞
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(8);
+  sched::LiveConfig cfg;
+  cfg.max_retries = 3;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.min_samples = 2;
+  cfg.health.ewma_alpha = 0.5;
+  cfg.health.error_threshold = 0.5;
+  cfg.health.open_cooldown_ms = 60000.0;  // stays open for the whole test
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  for (const auto& r : results) {
+    expect_well_formed(r, kStages);
+    // The healthy replica carries every task to completion.
+    EXPECT_FALSE(r.expired);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.stages_run, kStages);
+  }
+  EXPECT_EQ(stats.worker_crashes, 0u);  // sick ≠ dead: no thread ever exited
+  EXPECT_EQ(stats.respawns, 0u);
+  // Two failures at alpha=0.5 breach the 0.5 error threshold: exactly one
+  // trip, and the breaker keeps later dispatch off the sick replica.
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.worker_errors, 2u);
+  EXPECT_GE(stats.breaker_skips, 1u);
+  // Counter reconciliation: every injected sick-stage fault was observed.
+  EXPECT_EQ(FailpointRegistry::instance().fires("live.worker.sick"),
+            stats.worker_errors);
+  // Routing around the open breaker spared the retry budget: only the
+  // pre-trip failures charged retries.
+  EXPECT_EQ(stats.retries, stats.worker_errors);
+}
+
+TEST(Fault, LiveBreakerTripSeamForcesOpenWithoutRealErrors) {
+  FailpointGuard guard;
+  FailpointSpec spec;
+  spec.max_fires = 1;
+  FailpointRegistry::instance().arm("health.breaker.trip", spec);
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(6);
+  sched::LiveConfig cfg;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.open_cooldown_ms = 60000.0;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.expired);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.stages_run, kStages);
+  }
+  // The forced trip opened one breaker with zero real failures, and the
+  // other replica finished the batch.
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.worker_errors, 0u);
+  EXPECT_EQ(stats.worker_crashes, 0u);
+  EXPECT_EQ(FailpointRegistry::instance().fires("health.breaker.trip"), 1u);
+}
+
+TEST(Fault, LiveHedgedDispatchRescuesStraggler) {
+  FailpointGuard guard;
+  // Replica 0 straggles: every stage it starts stalls 200 ms.
+  FailpointSpec spec;
+  spec.kind = FailpointKind::kDelay;
+  spec.delay_ms = 200.0;
+  FailpointRegistry::instance().arm("live.worker.sick", spec);
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(10);
+  sched::LiveConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_quantile = 0.5;
+  cfg.hedge_min_ms = 1.0;
+  cfg.hedge_min_samples = 4;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.enabled = false;  // isolate hedging from breaker routing
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  for (const auto& r : results) {
+    expect_well_formed(r, kStages);
+    // No deadline and a healthy second replica: hedging must rescue every
+    // straggling dispatch; nothing degrades and nothing expires.
+    EXPECT_FALSE(r.expired);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.stages_run, kStages);
+    EXPECT_EQ(r.retries, 0u);  // a hedge is not a retry
+  }
+  EXPECT_GE(stats.hedges_issued, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  EXPECT_LE(stats.hedges_won, stats.hedges_issued);
+  EXPECT_EQ(stats.worker_crashes, 0u);
+
+  // The ops ledger carries the hedge counters (v2 journal frame fields).
+  ServerHarness harness;
+  serving::UsageMeter meter(harness.entry().costs, {"default"});
+  serving::OpsUsage ops;
+  ops.hedges_issued = stats.hedges_issued;
+  ops.hedges_won = stats.hedges_won;
+  ops.breaker_trips = stats.breaker_trips;
+  meter.record_ops(ops);
+  EXPECT_EQ(meter.ops().hedges_issued, stats.hedges_issued);
+  EXPECT_EQ(meter.ops().hedges_won, stats.hedges_won);
+}
+
+TEST(Fault, LiveHedgeRaceLoserIsCancelledCooperatively) {
+  FailpointGuard guard;
+  FailpointSpec stall;
+  stall.kind = FailpointKind::kDelay;
+  stall.delay_ms = 150.0;
+  FailpointRegistry::instance().arm("live.worker.sick", stall);
+  // Chaos seam: every hedge force-cancels its primary, so the backup must
+  // win every race and the loser-cancellation path runs deterministically.
+  FailpointRegistry::instance().arm("hedge.lose.race", FailpointSpec{});
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(8);
+  sched::LiveConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_quantile = 0.5;
+  cfg.hedge_min_ms = 1.0;
+  cfg.hedge_min_samples = 4;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.enabled = false;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  for (const auto& r : results) {
+    expect_well_formed(r, kStages);
+    EXPECT_FALSE(r.expired);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.stages_run, kStages);
+  }
+  EXPECT_GE(stats.hedges_issued, 1u);
+  // With the primary force-cancelled, the backup wins every race it enters.
+  EXPECT_EQ(stats.hedges_won, stats.hedges_issued);
+  EXPECT_EQ(FailpointRegistry::instance().fires("hedge.lose.race"),
+            stats.hedges_issued);
+  // The losers honored the cancel at their next safe point (the pre-stage
+  // token check after the injected stall).
+  EXPECT_GE(stats.cancelled, 1u);
+}
+
+TEST(Fault, ServerForcedBrownoutShedsAndRecovers) {
+  FailpointGuard guard;
+  FailpointSpec spec;
+  spec.max_fires = 2;
+  FailpointRegistry::instance().arm("admit.brownout.force", spec);
+
+  ServerHarness harness;
+  serving::ServerConfig cfg;
+  cfg.admission_capacity = 8;
+  serving::InferenceServer server(harness.entry(), cfg);
+  std::vector<serving::InferenceRequest> requests;
+  for (const auto& input : make_inputs(8)) requests.push_back({input, 0});
+
+  // Batch 1: the seam escalates to level 1 → capacity shrinks to 6, two
+  // requests brown out with well-formed degraded responses.
+  auto responses = server.process_batch(requests);
+  std::size_t browned = 0;
+  for (const auto& r : responses) {
+    if (r.browned_out) {
+      ++browned;
+      EXPECT_TRUE(r.degraded);
+      EXPECT_GE(r.stages_run, 1u);   // answered, not rejected
+      EXPECT_GT(r.confidence, 0.0);
+    }
+  }
+  EXPECT_EQ(browned, 2u);
+  // Recovery hysteresis: the measured queue delay is tiny against the 50 ms
+  // setpoint, so the controller steps back down after the batch.
+  EXPECT_EQ(server.brownout_level(), 0u);
+
+  // Batch 2: second forced escalation behaves identically.
+  responses = server.process_batch(requests);
+  browned = 0;
+  for (const auto& r : responses) browned += r.browned_out ? 1 : 0;
+  EXPECT_EQ(browned, 2u);
+
+  // Batch 3: the seam's budget is spent; full service is restored.
+  responses = server.process_batch(requests);
+  for (const auto& r : responses) {
+    EXPECT_FALSE(r.browned_out);
+    EXPECT_FALSE(r.degraded);
+  }
+  EXPECT_EQ(FailpointRegistry::instance().fires("admit.brownout.force"), 2u);
+}
+
+TEST(Fault, ServerBrownoutEscalatesProgressivelyOnMeasuredDelay) {
+  FailpointGuard guard;
+  ServerHarness harness;
+  serving::ServerConfig cfg;
+  cfg.admission_capacity = 8;
+  // A zero setpoint makes every measured queue delay an overload signal, so
+  // each batch escalates one level: a deterministic stand-in for a server
+  // that genuinely cannot keep up.
+  cfg.brownout.setpoint_ms = 0.0;
+  serving::InferenceServer server(harness.entry(), cfg);
+  std::vector<serving::InferenceRequest> requests;
+  for (const auto& input : make_inputs(8)) requests.push_back({input, 0});
+
+  serving::UsageMeter meter(harness.entry().costs, {"default"});
+  std::vector<std::size_t> browned_per_batch;
+  std::size_t total_browned = 0;
+  for (int batch = 0; batch < 4; ++batch) {
+    const auto responses = server.process_batch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    std::size_t browned = 0;
+    for (const auto& r : responses) {
+      if (r.browned_out) {
+        ++browned;
+        EXPECT_TRUE(r.degraded);
+        EXPECT_GE(r.stages_run, 1u);
+      } else {
+        EXPECT_GE(r.stages_run, 1u);
+      }
+    }
+    browned_per_batch.push_back(browned);
+    total_browned += browned;
+    meter.record(requests, responses, kStages);
+  }
+  // Levels during the batches ran 0 → 1 → 2 → 3 (the max), so the shed
+  // count grows progressively: 0, 2, 4, then 6 of 8.
+  const std::vector<std::size_t> expected = {0u, 2u, 4u, 6u};
+  EXPECT_EQ(browned_per_batch, expected);
+  EXPECT_EQ(server.brownout_level(), 3u);  // pinned at max_level
+  // The per-class ledger separates brown-out sheds from ordinary sheds.
+  const auto usage = meter.usage();
+  EXPECT_EQ(usage[0].brownout_sheds, total_browned);
+  EXPECT_EQ(usage[0].shed, total_browned);  // no other degradations occurred
+}
+
+// ---------------------------------------------------------------------------
 // Serving tier: overload shedding and stage-failure degradation
 // ---------------------------------------------------------------------------
 
@@ -703,6 +955,76 @@ TEST(FaultEnv, LiveSurvivesEnvironmentArmedChaos) {
   for (const auto& r : results) expect_well_formed(r, kStages);
   if (armed == 0) {
     EXPECT_EQ(stats.worker_crashes + stats.worker_timeouts + stats.degraded, 0u);
+  }
+}
+
+TEST(FaultEnv, LiveOverloadControlSurvivesEnvironmentArmedChaos) {
+  FailpointGuard guard;
+  // CI's overload-chaos job arms the §11 seams, e.g.
+  //   EUGENE_FAILPOINTS='live.worker.sick=error:p=0.4:seed=3,
+  //                      health.breaker.trip=error:p=0.1:seed=5,
+  //                      hedge.lose.race=error:p=0.5:seed=7'
+  // Without the variable this is a hedging+breaker smoke test.
+  const std::size_t armed = FailpointRegistry::instance().arm_from_env();
+
+  auto replicas = make_replicas(3);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(12);
+  sched::LiveConfig cfg;
+  cfg.max_retries = 4;
+  cfg.max_respawns = 4;
+  cfg.worker_timeout_ms = 2000.0;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.min_samples = 2;
+  cfg.health.open_cooldown_ms = 20.0;  // breakers recover mid-run
+  cfg.hedging = true;
+  cfg.hedge_quantile = 0.9;
+  cfg.hedge_min_samples = 4;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  for (const auto& r : results) expect_well_formed(r, kStages);
+  // Every recoverable worker error traces back to a sick-seam fire; the
+  // converse only holds for kind=error arming (a kind=delay fire makes a
+  // straggler, not an error), so this stays an upper bound under env chaos.
+  EXPECT_LE(stats.worker_errors,
+            FailpointRegistry::instance().fires("live.worker.sick"));
+  EXPECT_LE(stats.hedges_won, stats.hedges_issued);
+  if (armed == 0) {
+    EXPECT_EQ(stats.worker_errors + stats.breaker_trips + stats.degraded, 0u);
+  }
+}
+
+TEST(FaultEnv, ServerSurvivesEnvironmentArmedChaos) {
+  FailpointGuard guard;
+  // CI arms e.g. EUGENE_FAILPOINTS='admit.brownout.force=error:p=0.5:seed=2,
+  // serving.stage.crash=error:p=0.05:seed=4'; unarmed it is a smoke test.
+  const std::size_t armed = FailpointRegistry::instance().arm_from_env();
+
+  ServerHarness harness;
+  serving::ServerConfig cfg;
+  cfg.admission_capacity = 6;
+  cfg.max_stage_retries = 3;
+  serving::InferenceServer server(harness.entry(), cfg);
+  std::vector<serving::InferenceRequest> requests;
+  for (const auto& input : make_inputs(8)) requests.push_back({input, 0});
+
+  for (int batch = 0; batch < 3; ++batch) {
+    const auto responses = server.process_batch(requests);  // must not throw
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const auto& r : responses) {
+      EXPECT_LE(r.stages_run, kStages);
+      if (r.browned_out) {
+        EXPECT_TRUE(r.degraded);
+      }
+      if (!r.expired && !r.degraded) {
+        EXPECT_GE(r.stages_run, 1u);
+      }
+    }
+  }
+  if (armed == 0) {
+    EXPECT_EQ(server.brownout_level(), 0u);
   }
 }
 

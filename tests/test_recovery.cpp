@@ -16,6 +16,7 @@
 #include <filesystem>
 
 #include "calib/evaluation.hpp"
+#include "common/crc32.hpp"
 #include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "core/eugene_service.hpp"
@@ -463,6 +464,115 @@ TEST(Recovery, UsageJournalRejectsForeignFile) {
   EXPECT_THROW(meter.open_journal(journal), CorruptionError);
   // A missing journal is a cold start, not an error.
   EXPECT_EQ(meter.replay_journal(dir.path + "/absent.journal").frames, 0u);
+}
+
+/// A byte-exact pre-PR7 (version-1) journal image: header {magic, 1} and one
+/// frame whose class rows have seven fields and no trailing ops block. This
+/// is the on-disk format deployed meters may still carry; replay must accept
+/// it forever.
+std::vector<std::uint8_t> v1_journal_image() {
+  io::ByteWriter payload;
+  payload.u64(1);    // touched classes
+  payload.u32(0);    // class id
+  payload.u64(2);    // requests
+  payload.u64(3);    // stages_executed
+  payload.f64(7.0);  // compute_ms
+  payload.u64(1);    // expired
+  payload.u64(0);    // early_exits
+  payload.u64(1);    // shed
+  payload.u64(2);    // retries — v1 rows end here: no brownout_sheds
+  const std::vector<std::uint8_t>& p = payload.buffer();
+  io::ByteWriter file;
+  file.u32(0x4A475545);  // "EUGJ"
+  file.u32(1);           // version 1
+  file.u32(static_cast<std::uint32_t>(p.size()));
+  file.u32(crc32(p.data(), p.size()));
+  file.raw(p.data(), p.size());
+  return file.take();
+}
+
+TEST(Recovery, UsageJournalV1ImageReplaysCompatibly) {
+  // Regression for the v2 format change: a journal written before the
+  // brownout/ops counters existed replays without error and without
+  // inventing counts for fields its frames never carried.
+  FailpointGuard guard;
+  serving::UsageMeter meter(journal_costs(), {"only"});
+  const serving::JournalReplay replay =
+      meter.replay_journal_image(v1_journal_image(), "v1 image");
+  EXPECT_EQ(replay.frames, 1u);
+  EXPECT_FALSE(replay.truncated);
+  const serving::ClassUsage u = meter.usage()[0];
+  EXPECT_EQ(u.requests, 2u);
+  EXPECT_EQ(u.stages_executed, 3u);
+  EXPECT_DOUBLE_EQ(u.compute_ms, 7.0);
+  EXPECT_EQ(u.expired, 1u);
+  EXPECT_EQ(u.shed, 1u);
+  EXPECT_EQ(u.retries, 2u);
+  EXPECT_EQ(u.brownout_sheds, 0u);  // v1 never recorded these
+  EXPECT_EQ(meter.ops().hedges_issued, 0u);
+  EXPECT_EQ(meter.ops().breaker_trips, 0u);
+}
+
+TEST(Recovery, UsageJournalAppendToV1FileStaysV1) {
+  // open_journal on an existing v1 file keeps appending v1 frames — the file
+  // never mixes encodings, so a pre-PR7 reader still replays it. The price:
+  // ops deltas and brownout_sheds are memory-only on such a meter.
+  FailpointGuard guard;
+  TempDir dir("jv1");
+  std::error_code ec;
+  fs::create_directory(dir.path, ec);
+  const std::string journal = dir.path + "/usage.journal";
+  io::atomic_write_file(journal, v1_journal_image());
+
+  serving::UsageMeter meter(journal_costs(), {"only"});
+  meter.replay_journal(journal);
+  meter.open_journal(journal);
+  serving::InferenceResponse browned = fake_response(1, false, false, 0);
+  browned.browned_out = true;
+  meter.record({{tensor::Tensor::zeros({1}), 0}}, {browned}, kStages);
+  meter.record_ops({3, 2, 1});  // not journalable in v1; stays in memory
+  EXPECT_EQ(meter.usage()[0].brownout_sheds, 1u);
+  EXPECT_EQ(meter.ops().hedges_issued, 3u);
+
+  serving::UsageMeter recovered(journal_costs(), {"only"});
+  const serving::JournalReplay replay = recovered.replay_journal(journal);
+  EXPECT_EQ(replay.frames, 2u);  // v1 seed frame + the v1-encoded append
+  EXPECT_FALSE(replay.truncated);
+  EXPECT_EQ(recovered.usage()[0].requests, 3u);
+  // The v1 encoding had nowhere to put these; replay correctly reads zero.
+  EXPECT_EQ(recovered.usage()[0].brownout_sheds, 0u);
+  EXPECT_EQ(recovered.ops().hedges_issued, 0u);
+  EXPECT_EQ(recovered.ops().hedges_won, 0u);
+  EXPECT_EQ(recovered.ops().breaker_trips, 0u);
+}
+
+TEST(Recovery, UsageJournalV2RoundtripsBrownoutAndOpsCounters) {
+  FailpointGuard guard;
+  TempDir dir("jv2");
+  std::error_code ec;
+  fs::create_directory(dir.path, ec);
+  const std::string journal = dir.path + "/usage.journal";
+
+  serving::UsageMeter meter(journal_costs(), {"interactive", "batch"});
+  meter.open_journal(journal);
+  serving::InferenceResponse browned = fake_response(1, false, false, 0);
+  browned.browned_out = true;
+  meter.record({{tensor::Tensor::zeros({1}), 0}, {tensor::Tensor::zeros({1}), 1}},
+               {browned, fake_response(2, false, false, 0)}, kStages);
+  meter.record_ops({5, 2, 1});
+  meter.record_ops({1, 1, 0});
+
+  serving::UsageMeter recovered(journal_costs(), {"interactive", "batch"});
+  const serving::JournalReplay replay = recovered.replay_journal(journal);
+  EXPECT_EQ(replay.frames, 3u);  // one record + two ops frames
+  EXPECT_FALSE(replay.truncated);
+  EXPECT_EQ(recovered.usage()[0].brownout_sheds, 1u);
+  EXPECT_EQ(recovered.usage()[1].brownout_sheds, 0u);
+  EXPECT_EQ(recovered.ops().hedges_issued, 6u);
+  EXPECT_EQ(recovered.ops().hedges_won, 3u);
+  EXPECT_EQ(recovered.ops().breaker_trips, 1u);
+  serving::PricingPolicy pricing;
+  EXPECT_DOUBLE_EQ(recovered.total_charge(pricing), meter.total_charge(pricing));
 }
 
 // ---- adversarial snapshot payloads ------------------------------------------
