@@ -8,7 +8,10 @@
 //      as many stages as each input needs               — §II-E / §III.
 //
 // Build & run:  ./build/examples/quickstart
+// Pass --metrics to also dump the process-wide metrics registry (counters,
+// gauges, per-stage latency histograms) in the eugene-metrics v1 format.
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.hpp"
 #include "core/eugene_service.hpp"
@@ -16,7 +19,10 @@
 
 using namespace eugene;
 
-int main() {
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics") == 0) dump_metrics = true;
   set_log_level(LogLevel::Info);
 
   // -- 1. client data -------------------------------------------------------
@@ -63,5 +69,7 @@ int main() {
   }
   std::printf("accuracy %zu/%zu, mean stages %.2f (3.0 = no early exit)\n", correct,
               fresh.size(), static_cast<double>(stages_total) / fresh.size());
+
+  if (dump_metrics) std::printf("\n%s", eugene.metrics_text().c_str());
   return 0;
 }

@@ -7,7 +7,10 @@
 // stages while camera requests absorb the remaining capacity.
 //
 // Build & run:  ./build/examples/smart_camera
+// Pass --metrics to also dump the process-wide metrics registry in the
+// eugene-metrics v1 format.
 #include <cstdio>
+#include <cstring>
 
 #include "core/eugene_service.hpp"
 #include "data/synthetic_images.hpp"
@@ -15,7 +18,10 @@
 
 using namespace eugene;
 
-int main() {
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics") == 0) dump_metrics = true;
   data::SyntheticImageConfig sensor;
   Rng rng(11);
   const data::Dataset train_set = data::generate_images(sensor, 1200, rng);
@@ -83,5 +89,7 @@ int main() {
                 meter.charge(cls, pricing));
   }
   std::printf("  total: %.2f credits\n", meter.total_charge(pricing));
+
+  if (dump_metrics) std::printf("\n%s", eugene.metrics_text().c_str());
   return 0;
 }

@@ -25,6 +25,11 @@ Enforces the repo-wide contracts that grep one-liners used to approximate:
                       them immediately. The few legitimate sleeps (injected
                       failpoint delays, backoff between retries) are
                       allowlisted with reasons.
+  raw-timing          no ad-hoc std::chrono::{steady,system,high_resolution}_
+                      clock::now() in src/ — time flows through common/clock
+                      (Stopwatch/WallClock) and telemetry stamps events from
+                      the caller's Clock, so tests can fake time and every
+                      latency number shares one time base (DESIGN.md §12).
   naked-new           ownership goes through containers / make_unique.
   using-namespace     no `using namespace std` in headers.
   stdout              the library logs via EUGENE_LOG, not std::cout.
@@ -309,6 +314,25 @@ def rule_raw_sleep(files):
                     "loop immediately (allowlist genuinely timed sleeps)")
 
 
+RAW_TIMING_RE = re.compile(
+    r"std::chrono::(steady_clock|system_clock|high_resolution_clock)::now\b")
+
+
+def rule_raw_timing(files):
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            m = RAW_TIMING_RE.search(line)
+            if m:
+                yield Violation(
+                    "raw-timing", f.rel, ln,
+                    f"ad-hoc std::chrono::{m.group(1)}::now() — read time "
+                    "through common/clock (Stopwatch/WallClock) so latency "
+                    "numbers share one time base and tests can fake it "
+                    "(allowlist the clock wrapper itself)")
+
+
 NAKED_NEW_RE = re.compile(r"(^|[^\w_\.\"])new\s+[A-Za-z_:<]")
 
 
@@ -357,6 +381,7 @@ RULES = {
     "file-write": rule_file_write,
     "failpoint-registry": rule_failpoint_registry,
     "raw-sleep": rule_raw_sleep,
+    "raw-timing": rule_raw_timing,
     "naked-new": rule_naked_new,
     "using-namespace": rule_using_namespace,
     "stdout": rule_stdout,

@@ -15,6 +15,8 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kChannel: return "kChannel";
     case LockRank::kFifo: return "kFifo";
     case LockRank::kHealth: return "kHealth";
+    case LockRank::kTrace: return "kTrace";
+    case LockRank::kMetrics: return "kMetrics";
     case LockRank::kFailpointRegistry: return "kFailpointRegistry";
     case LockRank::kLogging: return "kLogging";
   }

@@ -23,6 +23,11 @@
 //    330   kHealth             nothing (breaker EWMA state; the
 //                              health.breaker.trip failpoint and EUGENE_LOG
 //                              both fire while it is held)
+//    340   kTrace              nothing (telemetry ring buffer; recording a
+//                              span event is legal under any subsystem lock
+//                              ranked below)
+//    350   kMetrics            nothing (instrument registration/snapshot;
+//                              instrument *updates* are lock-free atomics)
 //    900   kFailpointRegistry  any subsystem lock — EUGENE_FAILPOINT sites
 //                              fire inside locked regions (e.g. the usage
 //                              journal appends under kUsageMeter)
@@ -62,6 +67,10 @@ enum class LockRank : std::uint16_t {
   kFifo = 320,              ///< common/fifo_channel.hpp — frame serialization
   kHealth = 330,            ///< common/health.hpp — breaker EWMAs; failpoint +
                             ///< logging fire under it, nothing else nests in
+  kTrace = 340,             ///< common/trace.hpp — span-event ring buffer;
+                            ///< nothing nests inside it
+  kMetrics = 350,           ///< common/metrics.hpp — instrument table; updates
+                            ///< are lock-free, only registration/snapshot lock
   kFailpointRegistry = 900, ///< common/failpoint.hpp — evaluated under locks
   kLogging = 1000,          ///< common/logging.cpp — the leaf: legal anywhere
 };

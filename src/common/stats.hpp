@@ -17,12 +17,26 @@ inline double mean(std::span<const double> xs) {
   return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
 }
 
-/// Population variance (divides by N).
+/// Population variance (divides by N); requires a non-empty range.
+///
+/// Welford's single-pass update: one walk over the range (the previous form
+/// walked it twice via mean()) and numerically stable for data with a large
+/// common offset, where accumulating (x - m)² after a separately rounded
+/// mean loses precision. Stats.VarianceWelfordMatchesTwoPass pins agreement
+/// with the two-pass form within eps on ordinary data and exactness on
+/// offset data.
 inline double variance(std::span<const double> xs) {
-  const double m = mean(xs);
-  double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(xs.size());
+  EUGENE_REQUIRE(!xs.empty(), "variance of empty range");
+  double m = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+  }
+  return m2 / static_cast<double>(xs.size());
 }
 
 /// Population standard deviation.

@@ -98,7 +98,9 @@ CalibrationReport EugeneService::calibrate(std::size_t handle,
 std::vector<serving::InferenceResponse> EugeneService::infer_batch(
     std::size_t handle, const std::vector<serving::InferenceRequest>& requests,
     const serving::ServerConfig& config) {
-  serving::InferenceServer server(registry_.entry(handle), config);
+  serving::ServerConfig effective = config;
+  if (effective.trace == nullptr) effective.trace = &trace_;
+  serving::InferenceServer server(registry_.entry(handle), effective);
   return server.process_batch(requests);
 }
 
@@ -109,6 +111,10 @@ serving::InferenceResponse EugeneService::infer(std::size_t handle, const Tensor
   serving::InferenceRequest request;
   request.input = input;
   return infer_batch(handle, {request}, config).front();
+}
+
+std::string EugeneService::metrics_text() const {
+  return telemetry::MetricsRegistry::global().snapshot_text();
 }
 
 std::uint64_t EugeneService::snapshot(const std::string& dir) {

@@ -77,7 +77,9 @@ class EugeneService {
                               const calib::EntropyCalibConfig& config = {});
 
   // ---- §II-E + §III: run-time inference -----------------------------------
-  /// Schedules a batch of concurrent requests on the model.
+  /// Schedules a batch of concurrent requests on the model. When
+  /// `config.trace` is null the service's own recorder is injected, so
+  /// every response carries a span_id resolvable through trace().
   std::vector<serving::InferenceResponse> infer_batch(
       std::size_t handle, const std::vector<serving::InferenceRequest>& requests,
       const serving::ServerConfig& config);
@@ -85,6 +87,15 @@ class EugeneService {
   /// Single-input convenience wrapper (default service class, no deadline).
   serving::InferenceResponse infer(std::size_t handle, const tensor::Tensor& input,
                                    double early_exit_confidence = 0.92);
+
+  // ---- observability (DESIGN.md §12) --------------------------------------
+  /// Snapshot of the process-wide metrics registry in the eugene-metrics v1
+  /// text format (round-trippable through telemetry::parse_metrics_text).
+  std::string metrics_text() const;
+
+  /// The service's trace recorder: spans for every infer()/infer_batch()
+  /// call that did not supply its own recorder.
+  telemetry::TraceRecorder& trace() { return trace_; }
 
   // ---- durability (DESIGN.md §9) ------------------------------------------
   /// Snapshots every registered model — weights, confidence curves, stage
@@ -105,6 +116,7 @@ class EugeneService {
 
  private:
   serving::ModelRegistry registry_;
+  telemetry::TraceRecorder trace_;
 };
 
 }  // namespace eugene::core

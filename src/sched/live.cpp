@@ -13,6 +13,7 @@
 #include "common/clock.hpp"
 #include "common/failpoint.hpp"
 #include "common/fifo_channel.hpp"
+#include "common/histogram.hpp"
 #include "common/logging.hpp"
 #include "nn/serialize.hpp"
 
@@ -93,6 +94,7 @@ struct LiveTaskState {
   bool degraded = false;
   double submit_ms = 0.0;
   double finish_ms = 0.0;
+  telemetry::SpanHandle span;  ///< per-request timeline (null when untraced)
 };
 
 /// Scheduler-side view of one worker. `seq` identifies the in-flight
@@ -212,7 +214,28 @@ std::vector<LiveTaskResult> run_live(
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     tasks[i].features = inputs[i];
     tasks[i].submit_ms = clock.now_ms();
+    if (config.trace != nullptr)
+      tasks[i].span = config.trace->begin_span(tasks[i].submit_ms);
   }
+
+  using telemetry::TraceEventKind;
+  // Per-stage latency histograms, resolved once — record() on them is
+  // lock-free, so the hot result path never touches the registry mutex.
+  std::vector<telemetry::LatencyHistogram*> stage_hists;
+  if (config.metrics != nullptr) {
+    stage_hists.reserve(num_stages);
+    for (std::size_t s = 0; s < num_stages; ++s)
+      stage_hists.push_back(&config.metrics->histogram(
+          "sched.stage_latency_ms.stage" + std::to_string(s)));
+  }
+
+  // Closes a task's span: stage = stages completed, value = last confidence.
+  auto end_span = [](LiveTaskState& t, double now) {
+    t.span.event(TraceEventKind::kExit, now,
+                 static_cast<std::uint32_t>(t.stages_done), 0,
+                 t.observed_confidence.empty() ? 0.0
+                                               : t.observed_confidence.back());
+  };
 
   std::vector<WorkerSlot> slots(num_workers);
   // One breaker per replica, living as long as the pool: a respawned worker
@@ -233,6 +256,8 @@ std::vector<LiveTaskResult> run_live(
       t.finish_ms = clock.now_ms();
       ++local_stats.expired;
       --unfinished;
+      t.span.event(TraceEventKind::kExpire, t.finish_ms);
+      end_span(t, t.finish_ms);
     }
   };
 
@@ -271,17 +296,24 @@ std::vector<LiveTaskResult> run_live(
       t.finish_ms = now;
       ++local_stats.expired;
       --unfinished;
+      t.span.event(TraceEventKind::kExpire, now);
+      end_span(t, now);
     } else if (t.retries < config.max_retries) {
       ++t.retries;
       ++local_stats.retries;
-      t.eligible_ms = now + backoff_delay_ms(config.retry, t.retries, backoff_rng);
+      const double backoff = backoff_delay_ms(config.retry, t.retries, backoff_rng);
+      t.eligible_ms = now + backoff;
       t.hedged_this_stage = false;  // the re-dispatch may hedge again
+      t.span.event(TraceEventKind::kRetry, now,
+                   static_cast<std::uint32_t>(t.stages_done), 0, backoff);
     } else {
       t.done = true;
       t.degraded = true;
       t.finish_ms = now;
       ++local_stats.degraded;
       --unfinished;
+      t.span.event(TraceEventKind::kDegrade, now);
+      end_span(t, now);
     }
   };
 
@@ -313,6 +345,9 @@ std::vector<LiveTaskResult> run_live(
     slot.seq = job.seq;
     slot.task = task;
     slot.dispatched_ms = clock.now_ms();
+    t.span.event(hedge ? TraceEventKind::kHedge : TraceEventKind::kDispatch,
+                 slot.dispatched_ms, static_cast<std::uint32_t>(job.stage),
+                 static_cast<std::uint32_t>(w));
     job_channels[w].send(std::move(job));
   };
 
@@ -364,38 +399,37 @@ std::vector<LiveTaskResult> run_live(
     }
   };
 
-  // Sliding window of recent dispatch-to-result latencies, feeding the
-  // hedge threshold quantile.
-  std::vector<double> lat_window;
-  std::size_t lat_next = 0;
-  constexpr std::size_t kLatWindow = 64;
-  auto note_latency = [&](double ms) {
-    if (lat_window.size() < kLatWindow) {
-      lat_window.push_back(ms);
-    } else {
-      lat_window[lat_next] = ms;
-      lat_next = (lat_next + 1) % kLatWindow;
-    }
+  // Dispatch-to-result latencies feeding the hedge threshold. A lock-free
+  // log-bucketed histogram replaces the old 64-sample window: record is two
+  // relaxed atomic adds and quantile() walks 98 fixed buckets — no
+  // copy-and-nth_element per sweep (BM_HedgeQuantileLegacyWindow in
+  // bench_micro.cpp keeps the before/after comparison honest). Nearest-rank
+  // (ceil) semantics also fix the old floor-rank bias that under-read the
+  // quantile (q=0.5 of two samples returned the max, not the median).
+  telemetry::LatencyHistogram lat_hist;
+  auto note_latency = [&](double ms, std::size_t stage) {
+    lat_hist.record(ms);
+    if (stage < stage_hists.size()) stage_hists[stage]->record(ms);
   };
-  auto latency_quantile = [&](double q) {
-    std::vector<double> sorted = lat_window;
-    const auto k = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
-                         q * static_cast<double>(sorted.size())));
-    std::nth_element(sorted.begin(),
-                     sorted.begin() + static_cast<std::ptrdiff_t>(k), sorted.end());
-    return sorted[k];
+  // One threshold per wake (satellite fix: the sweep used to recompute the
+  // quantile in maybe_hedge *and* in the hedge-aware wake computation — two
+  // full window copies per loop iteration, and the two could disagree when
+  // a result landed between them). nullopt = hedging off or warming up.
+  auto hedge_threshold = [&]() -> std::optional<double> {
+    if (!config.hedging || lat_hist.count() < config.hedge_min_samples)
+      return std::nullopt;
+    return std::max(lat_hist.quantile(config.hedge_quantile),
+                    config.hedge_min_ms);
   };
 
   // Hedge sweep: a dispatch out longer than the observed latency quantile
   // gets one backup dispatch of the same stage on the healthiest free
   // replica. First result wins; the loser is cancelled through its token
   // and its eventual report is recognized by sequence number and dropped.
-  auto maybe_hedge = [&]() {
-    if (!config.hedging || lat_window.size() < config.hedge_min_samples) return;
+  auto maybe_hedge = [&](std::optional<double> threshold_opt) {
+    if (!threshold_opt.has_value()) return;
+    const double threshold = *threshold_opt;
     const double now = clock.now_ms();
-    const double threshold =
-        std::max(latency_quantile(config.hedge_quantile), config.hedge_min_ms);
     for (std::size_t w = 0; w < num_workers; ++w) {
       WorkerSlot& slot = slots[w];
       if (!slot.busy || slot.dead) continue;
@@ -443,6 +477,10 @@ std::vector<LiveTaskResult> run_live(
                            << slots[w].task;
           slots[w].dead = true;
           breakers[w].record_failure(now);
+          tasks[slots[w].task].span.event(
+              TraceEventKind::kStageError, now,
+              static_cast<std::uint32_t>(tasks[slots[w].task].stages_done),
+              static_cast<std::uint32_t>(w));
           fail_dispatch(w);
         }
       }
@@ -461,11 +499,16 @@ std::vector<LiveTaskResult> run_live(
         t.finish_ms = now;
         ++local_stats.degraded;
         --unfinished;
+        t.span.event(TraceEventKind::kDegrade, now);
+        end_span(t, now);
       }
       break;
     }
 
-    maybe_hedge();
+    // Compute the hedge threshold once per wake and share it between the
+    // hedge sweep and the hedge-aware wake window below.
+    const std::optional<double> threshold = hedge_threshold();
+    maybe_hedge(threshold);
     dispatch();
 
     bool any_running = false;
@@ -483,17 +526,15 @@ std::vector<LiveTaskResult> run_live(
     // otherwise a quiet pool (every task pending on one straggler) would
     // snooze the full fallback and hedge late. With no spare replica there
     // is nothing to hedge onto, and the result that frees one wakes us.
-    if (config.hedging && lat_window.size() >= config.hedge_min_samples) {
+    if (threshold.has_value()) {
       const double now = clock.now_ms();
       if (!ready_workers_ranked(now).empty()) {
-        const double threshold =
-            std::max(latency_quantile(config.hedge_quantile), config.hedge_min_ms);
         for (std::size_t w = 0; w < num_workers; ++w) {
           const WorkerSlot& s = slots[w];
           if (!s.busy || s.dead) continue;
           const LiveTaskState& t = tasks[s.task];
           if (t.done || t.hedged_this_stage) continue;
-          const double until = s.dispatched_ms + threshold - now;
+          const double until = s.dispatched_ms + *threshold - now;
           wait_ms = std::min(wait_ms, std::max(until, 0.1));
         }
       }
@@ -516,8 +557,12 @@ std::vector<LiveTaskResult> run_live(
       // set counts as newly cancelled — a decided hedge race already
       // counted its loser when the winner was processed.
       slot.busy = false;
-      if (take_inflight(t, res->worker, res->seq).has_value())
+      if (take_inflight(t, res->worker, res->seq).has_value()) {
         ++local_stats.cancelled;
+        t.span.event(TraceEventKind::kCancel, now,
+                     static_cast<std::uint32_t>(t.stages_done),
+                     static_cast<std::uint32_t>(res->worker));
+      }
       dispatch();
       continue;
     }
@@ -529,6 +574,9 @@ std::vector<LiveTaskResult> run_live(
       EUGENE_LOG(Warn) << "live: worker " << res->worker
                        << " failed a stage of task " << task_id
                        << " (recoverable): " << res->error;
+      t.span.event(TraceEventKind::kStageError, now,
+                   static_cast<std::uint32_t>(t.stages_done),
+                   static_cast<std::uint32_t>(res->worker));
       fail_dispatch(res->worker);
       dispatch();
       continue;
@@ -541,6 +589,9 @@ std::vector<LiveTaskResult> run_live(
                        << " crashed running task " << task_id << ": "
                        << res->error;
       slot.dead = true;
+      t.span.event(TraceEventKind::kStageError, now,
+                   static_cast<std::uint32_t>(t.stages_done),
+                   static_cast<std::uint32_t>(res->worker));
       fail_dispatch(res->worker);
       maybe_respawn(res->worker);
       dispatch();
@@ -550,7 +601,7 @@ std::vector<LiveTaskResult> run_live(
     // Successful stage execution: good for the replica's health either way,
     // and a fresh latency observation for the hedge threshold.
     breakers[res->worker].record_success(res->stage_ms, now);
-    note_latency(now - slot.dispatched_ms);
+    note_latency(now - slot.dispatched_ms, t.stages_done);
     slot.busy = false;
     const auto won = take_inflight(t, res->worker, res->seq);
     if (!won.has_value()) {
@@ -566,7 +617,12 @@ std::vector<LiveTaskResult> run_live(
     // may arrive after the batch completes). Its eventual report (success,
     // cancelled, or crash) is handled above as a non-in-flight event.
     local_stats.cancelled += t.inflight.size();
-    for (auto& d : t.inflight) d.token.cancel();
+    for (auto& d : t.inflight) {
+      d.token.cancel();
+      t.span.event(TraceEventKind::kCancel, now,
+                   static_cast<std::uint32_t>(t.stages_done),
+                   static_cast<std::uint32_t>(d.worker));
+    }
     t.inflight.clear();
     t.hedged_this_stage = false;
 
@@ -580,6 +636,9 @@ std::vector<LiveTaskResult> run_live(
     if (!t.done) {
       if (!late) {
         // In-deadline result: accept it.
+        t.span.event(TraceEventKind::kStageDone, now, res->report.stage,
+                     static_cast<std::uint32_t>(res->worker),
+                     res->report.confidence);
         ++t.stages_done;
         t.observed_confidence.push_back(res->report.confidence);
         t.last_label = res->report.predicted_label;
@@ -591,6 +650,7 @@ std::vector<LiveTaskResult> run_live(
           t.done = true;
           t.finish_ms = now;
           --unfinished;
+          end_span(t, now);
         }
       } else {
         // The daemon's stage-granularity kill: discard the late result.
@@ -599,6 +659,8 @@ std::vector<LiveTaskResult> run_live(
         t.finish_ms = now;
         ++local_stats.expired;
         --unfinished;
+        t.span.event(TraceEventKind::kExpire, now);
+        end_span(t, now);
       }
     }
     dispatch();
@@ -610,6 +672,25 @@ std::vector<LiveTaskResult> run_live(
 
   for (const auto& b : breakers) local_stats.breaker_trips += b.trips();
   if (stats != nullptr) *stats = local_stats;
+
+  if (config.metrics != nullptr) {
+    // inc(0) still registers the instrument, so metrics_text() lists every
+    // counter even on an uneventful run (the parse test relies on that).
+    telemetry::MetricsRegistry& m = *config.metrics;
+    m.counter("sched.live.tasks").inc(tasks.size());
+    m.counter("sched.live.worker_crashes").inc(local_stats.worker_crashes);
+    m.counter("sched.live.worker_timeouts").inc(local_stats.worker_timeouts);
+    m.counter("sched.live.worker_errors").inc(local_stats.worker_errors);
+    m.counter("sched.live.respawns").inc(local_stats.respawns);
+    m.counter("sched.live.retries").inc(local_stats.retries);
+    m.counter("sched.live.degraded").inc(local_stats.degraded);
+    m.counter("sched.live.expired").inc(local_stats.expired);
+    m.counter("sched.live.breaker_trips").inc(local_stats.breaker_trips);
+    m.counter("sched.live.breaker_skips").inc(local_stats.breaker_skips);
+    m.counter("sched.live.hedges_issued").inc(local_stats.hedges_issued);
+    m.counter("sched.live.hedges_won").inc(local_stats.hedges_won);
+    m.counter("sched.live.cancelled").inc(local_stats.cancelled);
+  }
 
   std::vector<LiveTaskResult> out(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -623,6 +704,7 @@ std::vector<LiveTaskResult> run_live(
     out[i].degraded = tasks[i].degraded;
     out[i].retries = tasks[i].retries;
     out[i].latency_ms = tasks[i].finish_ms - tasks[i].submit_ms;
+    out[i].span_id = tasks[i].span.id();
   }
   return out;
 }

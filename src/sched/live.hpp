@@ -41,7 +41,9 @@
 #include <memory>
 
 #include "common/health.hpp"
+#include "common/metrics.hpp"
 #include "common/retry.hpp"
+#include "common/trace.hpp"
 #include "gp/confidence_curve.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/policy.hpp"
@@ -73,6 +75,15 @@ struct LiveConfig {
   double hedge_quantile = 0.95;
   double hedge_min_ms = 1.0;
   std::size_t hedge_min_samples = 8;
+
+  // Observability (DESIGN.md §12). `trace` records one span per task
+  // (admission → dispatch/hedge/cancel/result → exit); null disables tracing
+  // at the cost of one branch per event site. `metrics` receives the
+  // LiveStats counters and per-stage latency histograms
+  // (sched.stage_latency_ms.stage<N>); null disables, the default is the
+  // process-wide registry behind EugeneService::metrics_text().
+  telemetry::TraceRecorder* trace = nullptr;
+  telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
 };
 
 /// Final outcome of one live task.
@@ -85,6 +96,7 @@ struct LiveTaskResult {
   bool degraded = false;          ///< retry budget exhausted; best-effort answer
   std::size_t retries = 0;        ///< re-dispatches this task consumed
   double latency_ms = 0.0;        ///< submission to final result
+  std::uint64_t span_id = 0;      ///< trace span (0 when the run was untraced)
 };
 
 /// Fault-handling counters for one run_live call. Chaos tests reconcile

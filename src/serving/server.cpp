@@ -51,7 +51,15 @@ struct RequestState {
   bool browned_out = false;
   double first_stage_ms = -1.0;  ///< admission-to-first-stage queue delay
   double finish_ms = 0.0;
+  telemetry::SpanHandle span;  ///< per-request timeline (null when untraced)
 };
+
+/// Closes a request's span: stage = stages completed, value = confidence.
+void end_span(RequestState& s, double now) {
+  s.span.event(telemetry::TraceEventKind::kExit, now,
+               static_cast<std::uint32_t>(s.stages_done), 0,
+               s.observed.empty() ? 0.0 : s.observed.back());
+}
 
 }  // namespace
 
@@ -79,6 +87,17 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
 
   WallClock clock;
 
+  using telemetry::TraceEventKind;
+  // Per-stage latency histograms resolved once; record() is lock-free so
+  // the stage loop never touches the registry mutex.
+  std::vector<telemetry::LatencyHistogram*> stage_hists;
+  if (config_.metrics != nullptr) {
+    stage_hists.reserve(num_stages);
+    for (std::size_t s = 0; s < num_stages; ++s)
+      stage_hists.push_back(&config_.metrics->histogram(
+          "serving.stage_latency_ms.stage" + std::to_string(s)));
+  }
+
   // Runs one stage for request `i`, absorbing injected or real stage
   // failures: a throwing stage is retried up to max_stage_retries times;
   // past the budget the request completes degraded with its best result so
@@ -88,7 +107,14 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     for (;;) {
       try {
         EUGENE_FAILPOINT("serving.stage.crash");
+        Stopwatch stage_watch;
         const nn::StageOutput out = entry_.model.run_stage(s.stages_done, s.features);
+        if (s.stages_done < stage_hists.size())
+          stage_hists[s.stages_done]->record(stage_watch.elapsed_ms());
+        if (s.span)
+          s.span.event(TraceEventKind::kStageDone, clock.now_ms(),
+                       static_cast<std::uint32_t>(s.stages_done), 0,
+                       out.confidence);
         ++s.stages_done;
         s.observed.push_back(out.confidence);
         s.label = out.predicted_label;
@@ -96,14 +122,22 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
         return true;
       } catch (const Error& e) {
         ++s.retries;
+        if (s.span)
+          s.span.event(TraceEventKind::kStageError, clock.now_ms(),
+                       static_cast<std::uint32_t>(s.stages_done));
         if (s.retries > config_.max_stage_retries) {
           EUGENE_LOG(Warn) << "serving: request " << i
                            << " exhausted stage retries; degrading: " << e.what();
           s.done = true;
           s.degraded = true;
           s.finish_ms = clock.now_ms();
+          s.span.event(TraceEventKind::kDegrade, s.finish_ms);
+          end_span(s, s.finish_ms);
           return false;
         }
+        if (s.span)
+          s.span.event(TraceEventKind::kRetry, clock.now_ms(),
+                       static_cast<std::uint32_t>(s.stages_done));
       }
     }
   };
@@ -137,6 +171,20 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
         config_.shed_max_stages > level ? config_.shed_max_stages - level : 1;
   }
 
+  // Open one span per request at admission; a non-zero brown-out level is
+  // part of every request's admission record (the chaos-seam trace test
+  // pins this on admit.brownout.force).
+  if (config_.trace != nullptr) {
+    const double admit_ms = clock.now_ms();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      state[i].span = config_.trace->begin_span(
+          admit_ms, static_cast<std::uint32_t>(requests[i].service_class));
+      if (level > 0)
+        state[i].span.event(TraceEventKind::kBrownout, admit_ms, 0, 0,
+                            static_cast<double>(level));
+    }
+  }
+
   // Admission control: everything past the effective capacity is shed, not
   // rejected. A shed request answers from the earliest exit that clears the
   // (possibly browned-out) shed confidence, bounded by the stage budget —
@@ -155,6 +203,9 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
       // browned_out marks the requests the *controller* shed: those the
       // static ceiling alone would have admitted.
       s.browned_out = i < base_capacity;
+      if (s.span)
+        s.span.event(TraceEventKind::kShed, clock.now_ms(), 0, 0,
+                     s.browned_out ? 1.0 : 0.0);
       while (!s.done && s.stages_done < stage_budget) {
         if (!run_stage_guarded(i)) break;
         if (s.observed.back() >= eff_shed_confidence) break;
@@ -163,6 +214,8 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
         s.done = true;
         s.degraded = true;
         s.finish_ms = clock.now_ms();
+        s.span.event(TraceEventKind::kDegrade, s.finish_ms);
+        end_span(s, s.finish_ms);
       }
       --remaining;
     }
@@ -182,6 +235,8 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
         state[i].expired = true;
         state[i].finish_ms = now;
         --remaining;
+        state[i].span.event(TraceEventKind::kExpire, now);
+        end_span(state[i], now);
       }
     }
     if (remaining == 0) break;
@@ -216,6 +271,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
       s.done = true;
       s.finish_ms = clock.now_ms();
       --remaining;
+      end_span(s, s.finish_ms);
     }
   }
 
@@ -255,6 +311,29 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     }
   }
 
+  if (config_.metrics != nullptr) {
+    // inc(0) still registers the instrument, so every serving counter is
+    // present in metrics_text() even on an uneventful batch.
+    telemetry::MetricsRegistry& m = *config_.metrics;
+    std::size_t expired = 0;
+    std::size_t degraded = 0;
+    std::size_t brownout_sheds = 0;
+    std::size_t retries = 0;
+    for (const RequestState& s : state) {
+      expired += s.expired ? 1 : 0;
+      degraded += s.degraded ? 1 : 0;
+      brownout_sheds += s.browned_out ? 1 : 0;
+      retries += s.retries;
+    }
+    m.counter("serving.requests").inc(requests.size());
+    m.counter("serving.sheds").inc(overloaded ? requests.size() - eff_capacity : 0);
+    m.counter("serving.brownout_sheds").inc(brownout_sheds);
+    m.counter("serving.expired").inc(expired);
+    m.counter("serving.degraded").inc(degraded);
+    m.counter("serving.retries").inc(retries);
+    m.gauge("serving.brownout.level").set(static_cast<double>(brownout_level_));
+  }
+
   std::vector<InferenceResponse> responses(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     responses[i].label = state[i].label;
@@ -265,6 +344,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     responses[i].browned_out = state[i].browned_out;
     responses[i].retries = state[i].retries;
     responses[i].latency_ms = state[i].finish_ms;
+    responses[i].span_id = state[i].span.id();
   }
   return responses;
 }

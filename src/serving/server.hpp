@@ -18,6 +18,8 @@
 
 #include <limits>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "serving/registry.hpp"
 
 namespace eugene::serving {
@@ -46,6 +48,7 @@ struct InferenceResponse {
                              ///< (would have been admitted at level 0)
   std::size_t retries = 0; ///< stage re-executions consumed by faults
   double latency_ms = 0.0;
+  std::uint64_t span_id = 0;  ///< trace span (0 when the run was untraced)
 };
 
 /// Adaptive admission (brown-out) knobs, DESIGN.md §11.
@@ -89,6 +92,15 @@ struct ServerConfig {
 
   // Adaptive admission (DESIGN.md §11 "Overload & health model").
   BrownoutConfig brownout;
+
+  // Observability (DESIGN.md §12). `trace` records one span per request
+  // (admission → brownout/shed decision → stage results → exit); null
+  // disables tracing. `metrics` receives serving.* counters, the
+  // serving.brownout.level gauge, and per-stage latency histograms; null
+  // disables, the default is the process-wide registry behind
+  // EugeneService::metrics_text().
+  telemetry::TraceRecorder* trace = nullptr;
+  telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
 };
 
 /// Schedules a batch of concurrent requests over one model instance,

@@ -11,6 +11,7 @@
 #include "common/crc32.hpp"
 #include "common/failpoint.hpp"
 #include "common/io.hpp"
+#include "common/metrics.hpp"
 
 namespace eugene::serving {
 namespace {
@@ -143,6 +144,15 @@ void UsageMeter::record(const std::vector<InferenceRequest>& requests,
                  "UsageMeter::record: request/response size mismatch");
   EUGENE_REQUIRE(model_num_stages <= costs_.num_stages(),
                  "UsageMeter::record: cost model covers fewer stages than the model");
+  {
+    // Metered traffic also feeds the process-wide metrics registry — bumped
+    // before mutex_ so metrics never nest inside the usage lock.
+    telemetry::MetricsRegistry& m = telemetry::MetricsRegistry::global();
+    std::uint64_t stages = 0;
+    for (const auto& r : responses) stages += r.stages_run;
+    m.counter("usage.requests").inc(requests.size());
+    m.counter("usage.stages_executed").inc(stages);
+  }
   MutexLock lock(mutex_);
   // Accumulate the batch into a delta first: the journal persists exactly
   // what this call added, so replay reproduces the ledger frame by frame.

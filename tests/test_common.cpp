@@ -196,6 +196,35 @@ TEST(Stats, MeanVarianceStddev) {
   EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
 }
 
+TEST(Stats, VarianceWelfordMatchesTwoPass) {
+  // The two-pass reference form: mean first, then squared deviations.
+  const auto two_pass = [](const std::vector<double>& xs) {
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+  };
+  // Ordinary data: the single-pass Welford form agrees within eps.
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(-3.0, 3.0));
+  EXPECT_NEAR(variance(xs), two_pass(xs), 1e-12);
+
+  // Large common offset: the data is {1e9, 1e9+1, 1e9+2, 1e9+3}, whose true
+  // variance is exactly 1.25. Welford keeps full precision here; the old
+  // two-pass form survives this magnitude too, but accumulate-of-squares
+  // style rewrites do not — pin the exact answer, not just agreement.
+  const std::vector<double> offset = {1e9, 1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0};
+  EXPECT_DOUBLE_EQ(variance(offset), 1.25);
+  EXPECT_NEAR(variance(offset), two_pass(offset), 1e-9);
+
+  // Degenerate ranges.
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  const std::vector<double> constant(64, 7.5e8);
+  EXPECT_DOUBLE_EQ(variance(constant), 0.0);
+}
+
 TEST(Stats, SoftmaxIsStableAndNormalized) {
   const std::vector<float> logits = {1000.0f, 1000.0f, 999.0f};
   const auto p = softmax(logits);

@@ -1,0 +1,605 @@
+// Telemetry suite (DESIGN.md §12 "Observability model"): the lock-free
+// latency histogram's bucket math and nearest-rank quantile semantics, the
+// metrics registry's round-trippable text snapshot, the trace recorder's
+// ring discipline, and — through the chaos seams — that the spans recorded
+// for faulted requests tell the story the injected faults wrote: a sick
+// replica shows up as stage_error on worker 0, a forced-lost hedge race
+// shows hedge + cancel, a forced brown-out stamps the admission record.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "calib/evaluation.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/histogram.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "gp/confidence_curve.hpp"
+#include "nn/staged_model.hpp"
+#include "sched/live.hpp"
+#include "serving/registry.hpp"
+#include "serving/server.hpp"
+
+namespace eugene {
+namespace {
+
+using telemetry::LatencyHistogram;
+using telemetry::TraceEvent;
+using telemetry::TraceEventKind;
+using telemetry::TraceRecorder;
+
+/// Disarms every failpoint on entry and exit of a test body.
+struct FailpointGuard {
+  FailpointGuard() { FailpointRegistry::instance().disarm_all(); }
+  ~FailpointGuard() { FailpointRegistry::instance().disarm_all(); }
+};
+
+nn::StagedResNetConfig tiny_model_config() {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {3, 4};
+  cfg.head_hidden = 8;
+  return cfg;
+}
+
+constexpr std::size_t kStages = 2;  // tiny_model_config has two stages
+
+calib::StagedEvaluation fake_eval() {
+  calib::StagedEvaluation eval;
+  eval.records.resize(kStages);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double base = rng.uniform(0.1, 0.9);
+    for (std::size_t s = 0; s < kStages; ++s) {
+      calib::StageRecord r;
+      r.confidence = static_cast<float>(std::min(
+          1.0, base + 0.2 * (static_cast<double>(s) + rng.uniform(0.0, 0.1))));
+      eval.records[s].push_back(r);
+    }
+  }
+  return eval;
+}
+
+gp::ConfidenceCurveModel make_curves() {
+  gp::ConfidenceCurveModel curves;
+  curves.fit(fake_eval());
+  return curves;
+}
+
+std::vector<tensor::Tensor> make_inputs(std::size_t n, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    inputs.push_back(tensor::Tensor::randn({2, 8, 8}, rng));
+  return inputs;
+}
+
+std::vector<std::unique_ptr<nn::StagedModel>> make_replicas(std::size_t workers) {
+  nn::StagedModel model = nn::build_staged_resnet(tiny_model_config());
+  return sched::replicate_staged_model(
+      model, [] { return nn::build_staged_resnet(tiny_model_config()); }, workers);
+}
+
+struct ServerHarness {
+  serving::ModelRegistry registry;
+  std::size_t handle;
+
+  ServerHarness()
+      : handle(registry.add("tiny", nn::build_staged_resnet(tiny_model_config()))) {
+    serving::ModelEntry& e = registry.entry(handle);
+    e.curves.fit(fake_eval());
+    e.costs.stage_ms = {1.0, 1.0};
+  }
+
+  serving::ModelEntry& entry() { return registry.entry(handle); }
+};
+
+/// Count of events of `kind` in a span's event list.
+std::size_t count_kind(const std::vector<TraceEvent>& events, TraceEventKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: bucket math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SlotOfHandlesEdgesAndGarbage) {
+  EXPECT_EQ(LatencyHistogram::slot_of(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::slot_of(-1.0), 0u);
+  EXPECT_EQ(LatencyHistogram::slot_of(std::numeric_limits<double>::quiet_NaN()), 0u);
+  // Below the range minimum (2^-10 ms) is underflow.
+  EXPECT_EQ(LatencyHistogram::slot_of(std::ldexp(1.0, -11)), 0u);
+  EXPECT_EQ(LatencyHistogram::slot_of(1e-300), 0u);
+  // The range minimum itself is the first real bucket.
+  EXPECT_EQ(LatencyHistogram::slot_of(std::ldexp(1.0, LatencyHistogram::kMinExp)), 1u);
+  // At and above the range maximum (2^14 ms) is overflow.
+  EXPECT_EQ(LatencyHistogram::slot_of(std::ldexp(1.0, LatencyHistogram::kMaxExp)),
+            LatencyHistogram::kBuckets + 1);
+  EXPECT_EQ(LatencyHistogram::slot_of(std::numeric_limits<double>::infinity()),
+            LatencyHistogram::kBuckets + 1);
+}
+
+TEST(Histogram, BucketEdgesAreConsistentWithSlotOf) {
+  for (std::size_t s = 1; s <= LatencyHistogram::kBuckets; ++s) {
+    const double lower = LatencyHistogram::bucket_lower(s);
+    const double upper = LatencyHistogram::bucket_upper(s);
+    EXPECT_LT(lower, upper) << "slot " << s;
+    // The inclusive lower edge maps back to its own slot; the exclusive
+    // upper edge is the next slot's lower edge.
+    EXPECT_EQ(LatencyHistogram::slot_of(lower), s);
+    if (s < LatencyHistogram::kBuckets) {
+      EXPECT_EQ(upper, LatencyHistogram::bucket_lower(s + 1));
+    }
+    // ~19% relative resolution: bucket width is at most 25% of its lower edge.
+    EXPECT_LE(upper / lower, 1.25 + 1e-12);
+  }
+}
+
+TEST(Histogram, RecordAndCountIncludeUnderAndOverflow) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.record(1.0);
+  h.record(-3.0);   // underflow
+  h.record(1e9);    // overflow
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets + 1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: nearest-rank quantile semantics (the satellite bugfix —
+// the old floor-rank form min(N-1, ⌊qN⌋) returned the max for q=0.5 over two
+// samples)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleSampleAnswersEveryQ) {
+  LatencyHistogram h;
+  h.record(4.0);
+  const double expected = LatencyHistogram::bucket_upper(LatencyHistogram::slot_of(4.0));
+  EXPECT_EQ(expected, 5.0);  // 4 ms bucket: [4, 5)
+  for (double q : {0.0, 0.01, 0.5, 0.95, 1.0})
+    EXPECT_EQ(h.quantile(q), expected) << "q=" << q;
+}
+
+TEST(Histogram, QuantileTwoSamplesMedianIsTheLowerOne) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  // Nearest-rank: rank(0.5) = ceil(0.5 * 2) = 1 → the first sample's bucket.
+  // The replaced floor-rank implementation indexed min(1, ⌊0.5·2⌋) = 1 and
+  // answered the *max* here.
+  EXPECT_EQ(h.quantile(0.5), 1.25);  // upper edge of [1, 1.25)
+  EXPECT_EQ(h.quantile(1.0), 2.5);   // q=1 is always the max: [2, 2.5)
+}
+
+TEST(Histogram, QuantileNearestRankOverKnownWindow) {
+  // Ten samples in ten distinct buckets: 1, 2, 4, ..., 512 ms.
+  LatencyHistogram h;
+  for (int e = 0; e < 10; ++e) h.record(std::ldexp(1.0, e));
+  // rank(0.5) = ceil(5) = 5 → 5th smallest = 16 ms, bucket [16, 20).
+  EXPECT_EQ(h.quantile(0.5), 20.0);
+  // rank(0.95) = ceil(9.5) = 10 → the max = 512 ms, bucket [512, 640).
+  EXPECT_EQ(h.quantile(0.95), 640.0);
+  // rank(0.05) = ceil(0.5) = 1 → the min = 1 ms, bucket [1, 1.25).
+  EXPECT_EQ(h.quantile(0.05), 1.25);
+  // q is clamped into [0, 1].
+  EXPECT_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOverflowAnswersRangeMaximum) {
+  LatencyHistogram h;
+  h.record(1e9);
+  EXPECT_EQ(h.quantile(1.0), std::ldexp(1.0, LatencyHistogram::kMaxExp));
+}
+
+TEST(Histogram, MergeAggregatesBucketwise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(1.0);
+  a.record(1.0);
+  b.record(64.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.quantile(0.5), 1.25);
+  EXPECT_EQ(a.quantile(1.0), 80.0);  // 64 ms bucket: [64, 80)
+  EXPECT_EQ(b.count(), 1u);          // source is untouched
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  for (std::size_t s = 0; s < LatencyHistogram::kSlots; ++s)
+    EXPECT_EQ(h.bucket_count(s), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(0.5 + static_cast<double>((t * kPerThread + i) % 1000));
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < LatencyHistogram::kSlots; ++s)
+    sum += h.bucket_count(s);
+  EXPECT_EQ(sum, h.count());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry + text codec
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& c = reg.counter("t.count");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  telemetry::Gauge& g = reg.gauge("t.level");
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, SameNameAnswersSameInstrument) {
+  telemetry::MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("t.a"), &reg.counter("t.a"));
+  EXPECT_NE(&reg.counter("t.a"), &reg.counter("t.b"));
+  EXPECT_EQ(&reg.histogram("t.h"), &reg.histogram("t.h"));
+}
+
+TEST(Metrics, RejectsNamesWithWhitespace) {
+  telemetry::MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("bad name"), InvalidArgument);
+  EXPECT_THROW(reg.gauge("bad\tname"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("bad\nname"), InvalidArgument);
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+}
+
+TEST(Metrics, SnapshotTextRoundTrips) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("sched.live.hedges_issued").inc(3);
+  reg.counter("sched.live.breaker_trips");  // registered, zero
+  reg.gauge("serving.brownout.level").set(1.0);
+  reg.gauge("t.ratio").set(0.1);  // not exactly representable: %.17g matters
+  telemetry::LatencyHistogram& h = reg.histogram("sched.stage_latency_ms.stage0");
+  for (int i = 0; i < 42; ++i) h.record(1.0 + static_cast<double>(i % 7));
+  reg.histogram("t.empty");  // histogram with no samples → "buckets -"
+
+  const std::string text = reg.snapshot_text();
+  EXPECT_EQ(text.rfind("# eugene-metrics v1\n", 0), 0u);
+
+  const telemetry::MetricsSnapshot snap = telemetry::parse_metrics_text(text);
+  EXPECT_EQ(snap.counters.at("sched.live.hedges_issued"), 3u);
+  EXPECT_EQ(snap.counters.at("sched.live.breaker_trips"), 0u);
+  EXPECT_EQ(snap.gauges.at("serving.brownout.level"), 1.0);
+  EXPECT_EQ(snap.gauges.at("t.ratio"), 0.1);  // exact double round trip
+
+  const auto& hist = snap.histograms.at("sched.stage_latency_ms.stage0");
+  EXPECT_EQ(hist.count, 42u);
+  EXPECT_EQ(hist.p50, h.quantile(0.50));
+  EXPECT_EQ(hist.p99, h.quantile(0.99));
+  // Exact bucket-level fidelity: rebuild and compare every slot.
+  telemetry::LatencyHistogram rebuilt;
+  for (const auto& [slot, n] : hist.buckets) rebuilt.add_to_bucket(slot, n);
+  EXPECT_EQ(rebuilt.count(), h.count());
+  for (std::size_t s = 0; s < telemetry::LatencyHistogram::kSlots; ++s)
+    EXPECT_EQ(rebuilt.bucket_count(s), h.bucket_count(s)) << "slot " << s;
+  EXPECT_EQ(rebuilt.quantile(0.5), h.quantile(0.5));
+
+  EXPECT_EQ(snap.histograms.at("t.empty").count, 0u);
+  EXPECT_TRUE(snap.histograms.at("t.empty").buckets.empty());
+}
+
+TEST(Metrics, ParseRejectsGarbage) {
+  using telemetry::parse_metrics_text;
+  // Wrong or missing header.
+  EXPECT_THROW(parse_metrics_text(""), CorruptionError);
+  EXPECT_THROW(parse_metrics_text("counter a 1\n"), CorruptionError);
+  const std::string hdr = "# eugene-metrics v1\n";
+  // Unknown line type.
+  EXPECT_THROW(parse_metrics_text(hdr + "meter a 1\n"), CorruptionError);
+  // Malformed numbers.
+  EXPECT_THROW(parse_metrics_text(hdr + "counter a pancake\n"), CorruptionError);
+  EXPECT_THROW(parse_metrics_text(hdr + "counter a 1x\n"), CorruptionError);
+  EXPECT_THROW(parse_metrics_text(hdr + "gauge a 1..5\n"), CorruptionError);
+  // Truncated lines.
+  EXPECT_THROW(parse_metrics_text(hdr + "counter a\n"), CorruptionError);
+  EXPECT_THROW(parse_metrics_text(hdr + "histogram h count 1 p50 1\n"),
+               CorruptionError);
+  // Histogram internal consistency.
+  EXPECT_THROW(
+      parse_metrics_text(hdr + "histogram h count 2 p50 1 p99 1 buckets 5:1\n"),
+      CorruptionError);  // bucket counts don't sum to count
+  EXPECT_THROW(
+      parse_metrics_text(hdr + "histogram h count 1 p50 1 p99 1 buckets -\n"),
+      CorruptionError);  // non-zero count with no buckets
+  EXPECT_THROW(
+      parse_metrics_text(hdr +
+                         "histogram h count 2 p50 1 p99 1 buckets 5:1,5:1\n"),
+      CorruptionError);  // duplicate slot
+  EXPECT_THROW(
+      parse_metrics_text(hdr + "histogram h count 1 p50 1 p99 1 buckets 999:1\n"),
+      CorruptionError);  // slot out of range
+  EXPECT_THROW(
+      parse_metrics_text(hdr + "histogram h count 1 p50 1 p99 1 buckets 5:0\n"),
+      CorruptionError);  // empty bucket listed
+  // A valid dump still parses after all that.
+  EXPECT_NO_THROW(parse_metrics_text(
+      hdr + "counter a 1\ngauge b 2\nhistogram h count 1 p50 1 p99 1 buckets 5:1\n"));
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TEST(Trace, NullHandleIsInert) {
+  telemetry::SpanHandle null;
+  EXPECT_FALSE(static_cast<bool>(null));
+  EXPECT_EQ(null.id(), 0u);
+  null.event(TraceEventKind::kDispatch, 1.0, 0, 0, 0.0);  // must not crash
+}
+
+TEST(Trace, BeginSpanRecordsAdmitWithServiceClass) {
+  TraceRecorder rec(16);
+  telemetry::SpanHandle span = rec.begin_span(12.5, 2);
+  EXPECT_TRUE(static_cast<bool>(span));
+  EXPECT_NE(span.id(), 0u);
+  const auto events = rec.span(span.id());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kAdmit);
+  EXPECT_EQ(events[0].t_ms, 12.5);
+  EXPECT_EQ(events[0].value, 2.0);
+}
+
+TEST(Trace, SpanIdsAreUniqueAndNeverZero) {
+  TraceRecorder rec(4);
+  const auto a = rec.begin_span(0.0);
+  const auto b = rec.begin_span(0.0);
+  EXPECT_NE(a.id(), 0u);
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder rec(4);
+  telemetry::SpanHandle span = rec.begin_span(0.0);  // event #1 (admit)
+  for (int i = 1; i <= 5; ++i)
+    span.event(TraceEventKind::kDispatch, static_cast<double>(i));
+  // 6 events into a 4-slot ring: the admit and the first dispatch fell off.
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, TraceEventKind::kDispatch);
+    EXPECT_EQ(events[i].t_ms, static_cast<double>(i + 2));  // oldest first
+  }
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Trace, SpanFiltersInterleavedEvents) {
+  TraceRecorder rec(16);
+  auto a = rec.begin_span(0.0);
+  auto b = rec.begin_span(0.0);
+  a.event(TraceEventKind::kDispatch, 1.0);
+  b.event(TraceEventKind::kDispatch, 2.0);
+  a.event(TraceEventKind::kExit, 3.0);
+  const auto span_a = rec.span(a.id());
+  ASSERT_EQ(span_a.size(), 3u);
+  EXPECT_EQ(span_a[0].kind, TraceEventKind::kAdmit);
+  EXPECT_EQ(span_a[1].kind, TraceEventKind::kDispatch);
+  EXPECT_EQ(span_a[2].kind, TraceEventKind::kExit);
+  EXPECT_EQ(rec.span(b.id()).size(), 2u);
+  EXPECT_TRUE(rec.span(99999).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-seam trace tests: the spans must match the injected faults
+// ---------------------------------------------------------------------------
+
+TEST(TraceChaos, SickReplicaSpansShowStageErrorsOnWorkerZero) {
+  FailpointGuard guard;
+  FailpointRegistry::instance().arm("live.worker.sick", FailpointSpec{});
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(8);
+  TraceRecorder rec(4096);
+  telemetry::MetricsRegistry metrics;
+  sched::LiveConfig cfg;
+  cfg.max_retries = 3;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.min_samples = 2;
+  cfg.health.ewma_alpha = 0.5;
+  cfg.health.error_threshold = 0.5;
+  cfg.health.open_cooldown_ms = 60000.0;
+  cfg.trace = &rec;
+  cfg.metrics = &metrics;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  std::size_t stage_errors = 0;
+  for (const auto& r : results) {
+    ASSERT_NE(r.span_id, 0u);
+    const auto span = rec.span(r.span_id);
+    ASSERT_FALSE(span.empty());
+    // Every span opens with admission and closes with exit.
+    EXPECT_EQ(span.front().kind, TraceEventKind::kAdmit);
+    EXPECT_EQ(span.back().kind, TraceEventKind::kExit);
+    EXPECT_EQ(span.back().stage, r.stages_run);
+    EXPECT_EQ(span.back().value, r.confidence);
+    // Timestamps never run backwards within a span.
+    for (std::size_t i = 1; i < span.size(); ++i)
+      EXPECT_GE(span[i].t_ms, span[i - 1].t_ms);
+    // Stage results came from real dispatches: one dispatch/hedge per
+    // stage_done at least.
+    EXPECT_GE(count_kind(span, TraceEventKind::kDispatch) +
+                  count_kind(span, TraceEventKind::kHedge),
+              count_kind(span, TraceEventKind::kStageDone));
+    for (const auto& ev : span) {
+      if (ev.kind == TraceEventKind::kStageError) {
+        ++stage_errors;
+        // Only replica 0 is sick, and no worker timed out or crashed.
+        EXPECT_EQ(ev.worker, 0u);
+      }
+    }
+  }
+  // Every injected sick-stage fault left a stage_error event in some span.
+  EXPECT_EQ(stage_errors, stats.worker_errors);
+  EXPECT_GE(stage_errors, 1u);
+  // The run's counters surfaced in the injected registry.
+  const auto snap = telemetry::parse_metrics_text(metrics.snapshot_text());
+  EXPECT_EQ(snap.counters.at("sched.live.worker_errors"), stats.worker_errors);
+  EXPECT_EQ(snap.counters.at("sched.live.breaker_trips"), stats.breaker_trips);
+  EXPECT_EQ(snap.counters.at("sched.live.tasks"), inputs.size());
+}
+
+TEST(TraceChaos, ForcedLostHedgeRaceSpansShowHedgeAndCancel) {
+  FailpointGuard guard;
+  FailpointSpec stall;
+  stall.kind = FailpointKind::kDelay;
+  stall.delay_ms = 150.0;
+  FailpointRegistry::instance().arm("live.worker.sick", stall);
+  FailpointRegistry::instance().arm("hedge.lose.race", FailpointSpec{});
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(8);
+  TraceRecorder rec(4096);
+  sched::LiveConfig cfg;
+  cfg.hedging = true;
+  cfg.hedge_quantile = 0.5;
+  cfg.hedge_min_ms = 1.0;
+  cfg.hedge_min_samples = 4;
+  cfg.retry.base_delay_ms = 0.1;
+  cfg.health.enabled = false;
+  cfg.trace = &rec;
+  cfg.metrics = nullptr;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  ASSERT_GE(stats.hedges_issued, 1u);
+  std::size_t hedge_events = 0;
+  for (const auto& r : results) {
+    ASSERT_NE(r.span_id, 0u);
+    const auto span = rec.span(r.span_id);
+    ASSERT_FALSE(span.empty());
+    EXPECT_EQ(span.back().kind, TraceEventKind::kExit);
+    const std::size_t hedges = count_kind(span, TraceEventKind::kHedge);
+    hedge_events += hedges;
+    if (hedges > 0) {
+      // The forced-lost race decided against the primary: its cooperative
+      // cancellation must be on the record alongside the hedge.
+      EXPECT_GE(count_kind(span, TraceEventKind::kCancel), 1u)
+          << "span " << r.span_id << " hedged but never cancelled the loser";
+    }
+  }
+  // Every hedge the scheduler counted is visible in exactly one span.
+  EXPECT_EQ(hedge_events, stats.hedges_issued);
+}
+
+TEST(TraceChaos, ForcedBrownoutStampsAdmissionAndShedSpans) {
+  FailpointGuard guard;
+  FailpointSpec spec;
+  spec.max_fires = 1;
+  FailpointRegistry::instance().arm("admit.brownout.force", spec);
+
+  ServerHarness harness;
+  TraceRecorder rec(4096);
+  telemetry::MetricsRegistry metrics;
+  serving::ServerConfig cfg;
+  cfg.admission_capacity = 8;
+  cfg.trace = &rec;
+  cfg.metrics = &metrics;
+  serving::InferenceServer server(harness.entry(), cfg);
+  std::vector<serving::InferenceRequest> requests;
+  for (const auto& input : make_inputs(8)) requests.push_back({input, 0});
+
+  // The seam escalates to level 1 → capacity 8 shrinks to 6; requests 6 and
+  // 7 brown out.
+  const auto responses = server.process_batch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const auto& r = responses[i];
+    ASSERT_NE(r.span_id, 0u);
+    const auto span = rec.span(r.span_id);
+    ASSERT_FALSE(span.empty());
+    EXPECT_EQ(span.front().kind, TraceEventKind::kAdmit);
+    EXPECT_EQ(span.back().kind, TraceEventKind::kExit);
+    // Level-1 admission is stamped on every span of the batch.
+    ASSERT_EQ(count_kind(span, TraceEventKind::kBrownout), 1u);
+    for (const auto& ev : span) {
+      if (ev.kind == TraceEventKind::kBrownout) {
+        EXPECT_EQ(ev.value, 1.0);
+      }
+    }
+    const std::size_t sheds = count_kind(span, TraceEventKind::kShed);
+    if (r.browned_out) {
+      EXPECT_TRUE(r.degraded);
+      ASSERT_EQ(sheds, 1u);
+      // value=1 marks a brown-out shed (the static ceiling alone would have
+      // admitted this request).
+      for (const auto& ev : span) {
+        if (ev.kind == TraceEventKind::kShed) {
+          EXPECT_EQ(ev.value, 1.0);
+        }
+      }
+    } else {
+      EXPECT_EQ(sheds, 0u);
+    }
+  }
+  EXPECT_EQ(responses[6].browned_out && responses[7].browned_out, true);
+
+  const auto snap = telemetry::parse_metrics_text(metrics.snapshot_text());
+  EXPECT_EQ(snap.counters.at("serving.requests"), 8u);
+  EXPECT_EQ(snap.counters.at("serving.sheds"), 2u);
+  EXPECT_EQ(snap.counters.at("serving.brownout_sheds"), 2u);
+  ASSERT_EQ(snap.histograms.count("serving.stage_latency_ms.stage0"), 1u);
+  EXPECT_GE(snap.histograms.at("serving.stage_latency_ms.stage0").count, 1u);
+}
+
+TEST(TraceChaos, UntracedRunsCarryZeroSpanIds) {
+  FailpointGuard guard;
+  ServerHarness harness;
+  serving::ServerConfig cfg;
+  cfg.metrics = nullptr;  // trace defaults to null too
+  serving::InferenceServer server(harness.entry(), cfg);
+  std::vector<serving::InferenceRequest> requests;
+  for (const auto& input : make_inputs(3)) requests.push_back({input, 0});
+  const auto responses = server.process_batch(requests);
+  for (const auto& r : responses) EXPECT_EQ(r.span_id, 0u);
+}
+
+}  // namespace
+}  // namespace eugene
