@@ -201,8 +201,7 @@ void BM_HedgedDispatch(benchmark::State& state) {
   cfg.stage_channels = {3, 4};
   cfg.head_hidden = 8;
   nn::StagedModel source = nn::build_staged_resnet(cfg);
-  auto replicas = sched::replicate_staged_model(
-      source, [&] { return nn::build_staged_resnet(cfg); }, 3);
+  auto replicas = sched::replicate_staged_model(source, 3);
   const auto curves = make_curves();
   Rng rng(7);
   std::vector<tensor::Tensor> inputs;
@@ -454,6 +453,50 @@ void BM_CheckpointSaveFileAtomic(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_CheckpointSaveFileAtomic);
+
+// ---- epoch-pinned registry reads (DESIGN.md §13) --------------------------
+
+serving::ModelRegistry& bench_registry() {
+  static serving::ModelRegistry* registry = [] {
+    auto* r = new serving::ModelRegistry();  // leaked on purpose: bench-lived
+    nn::StagedResNetConfig cfg;
+    cfg.stage_channels = {4, 8};
+    r->add("bench", nn::build_staged_resnet(cfg));
+    return r;
+  }();
+  return *registry;
+}
+
+// The per-request read the serving path performs: pin the current epoch
+// (one atomic shared_ptr acquire) and touch the entry. This is the hot
+// half of the zero-downtime design — writers publishing snapshots/swaps
+// never make this read wait.
+void BM_RegistryEpochRead(benchmark::State& state) {
+  serving::ModelRegistry& registry = bench_registry();
+  for (auto _ : state) {
+    const serving::ModelRegistry::ViewPtr view = registry.pin();
+    benchmark::DoNotOptimize(view->entry(0).calibrated);
+  }
+}
+BENCHMARK(BM_RegistryEpochRead);
+
+// What the pre-epoch design paid per read: a ranked-mutex round trip around
+// the same entry access. Uncontended the two are the same order of
+// magnitude (the pinned read pays a refcount bump; the mutex pays a
+// lock/unlock) — the refactor's win is independence, not raw latency: the
+// locked design serialized every reader behind a writer holding the mutex
+// through a deep clone and publish, which no single-threaded benchmark can
+// show.
+void BM_RegistryLockedRead(benchmark::State& state) {
+  serving::ModelRegistry& registry = bench_registry();
+  const serving::ModelRegistry::ViewPtr view = registry.pin();
+  static Mutex mutex(LockRank::kModelRegistry, "bench_locked_read");
+  for (auto _ : state) {
+    MutexLock lock(mutex);
+    benchmark::DoNotOptimize(view->entry(0).calibrated);
+  }
+}
+BENCHMARK(BM_RegistryLockedRead);
 
 }  // namespace
 

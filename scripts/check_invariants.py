@@ -33,6 +33,13 @@ Enforces the repo-wide contracts that grep one-liners used to approximate:
   naked-new           ownership goes through containers / make_unique.
   using-namespace     no `using namespace std` in headers.
   stdout              the library logs via EUGENE_LOG, not std::cout.
+  no-direct-exit      no std::exit / abort / _Exit / quick_exit in src/
+                      outside common/check.hpp — library code reports faults
+                      through the eugene::Error taxonomy so the lifecycle
+                      (DESIGN.md §13) can drain, flush journals, and commit a
+                      final snapshot; only deliberate die-fast sites (e.g. the
+                      lock-rank checker, whose whole point is to refuse to run
+                      with a corrupted lock order) are allowlisted.
 
 Justified exceptions live in scripts/invariant_allowlist.json, keyed by rule
 and file with a required human reason; entries that no longer suppress
@@ -219,7 +226,7 @@ def rule_unranked_mutex(files):
 THROW_RE = re.compile(r"(?<![\w_])throw\s+([A-Za-z_0-9][\w:]*)")
 ALLOWED_THROWN = re.compile(
     r"^(::)?(eugene::)?(Error|InvalidArgument|InternalError|TransportError|"
-    r"FailpointError|CorruptionError|IoError)$")
+    r"FailpointError|CorruptionError|IoError|CancelledError)$")
 
 
 def rule_throw_taxonomy(files):
@@ -362,6 +369,28 @@ def rule_using_namespace(files):
                     "includer")
 
 
+# A process-exit call, optionally std:: / :: qualified. The lookbehind keeps
+# identifiers like `early_exit(`, member calls `.exit(`, and `->abort(` out;
+# masked lines keep strings and comments out.
+DIRECT_EXIT_RE = re.compile(
+    r"(?<![\w.>])((?:std::|::)?(?:exit|abort|_Exit|quick_exit))\s*\(")
+
+
+def rule_direct_exit(files):
+    for f in files:
+        if not f.rel.startswith("src/") or f.rel == "src/common/check.hpp":
+            continue
+        for ln, line in enumerate(f.masked_lines, 1):
+            m = DIRECT_EXIT_RE.search(line)
+            if m:
+                yield Violation(
+                    "no-direct-exit", f.rel, ln,
+                    f"direct `{m.group(1)}` — library code must surface "
+                    "faults via the eugene::Error taxonomy so the lifecycle "
+                    "can drain and flush state (DESIGN.md §13); allowlist "
+                    "deliberate die-fast sites with a reason")
+
+
 def rule_stdout(files):
     for f in files:
         if not f.rel.startswith("src/"):
@@ -385,6 +414,7 @@ RULES = {
     "naked-new": rule_naked_new,
     "using-namespace": rule_using_namespace,
     "stdout": rule_stdout,
+    "no-direct-exit": rule_direct_exit,
 }
 
 

@@ -120,7 +120,7 @@ CollabMetrics run_collaborative(const CollabExperimentConfig& config) {
   Rng rng(config.seed);
   World world(config.world, rng);
   const std::vector<Camera> cameras = build_cameras(config);
-  TrustManager trust(cameras.size());
+  TrustManager trust(cameras.size(), 1.0, config.fusion.trust_learning_rate);
 
   OnlineStats accuracy;
   OnlineStats latency;

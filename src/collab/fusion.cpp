@@ -7,17 +7,21 @@
 
 namespace eugene::collab {
 
-TrustManager::TrustManager(std::size_t num_cameras, double initial_trust)
-    : trust_(num_cameras, initial_trust) {
+TrustManager::TrustManager(std::size_t num_cameras, double initial_trust,
+                           double learning_rate)
+    : trust_(num_cameras, initial_trust), learning_rate_(learning_rate) {
   EUGENE_REQUIRE(num_cameras > 0, "TrustManager: no cameras");
   EUGENE_REQUIRE(initial_trust >= 0.0 && initial_trust <= 1.0,
                  "TrustManager: trust outside [0,1]");
+  EUGENE_REQUIRE(learning_rate > 0.0 && learning_rate <= 1.0,
+                 "TrustManager: learning rate outside (0,1]");
 }
 
 void TrustManager::observe(std::size_t camera, bool verified) {
   EUGENE_REQUIRE(camera < trust_.size(), "TrustManager: camera out of range");
   const double target = verified ? 1.0 : 0.0;
   trust_[camera] += learning_rate_ * (target - trust_[camera]);
+  trust_[camera] = std::clamp(trust_[camera], 0.0, 1.0);
 }
 
 double TrustManager::trust(std::size_t camera) const {

@@ -11,6 +11,10 @@ struct FusionConfig {
   double fusion_radius_m = 3.0;   ///< detections closer than this are one person
   double remap_noise_m = 0.5;     ///< extra noise added when remapping peer boxes
   double min_cluster_trust = 0.5; ///< peer-only clusters need this much trust
+  /// EWMA step of the trust update: trust += rate * (outcome - trust). Must
+  /// lie in (0, 1]; small values forgive isolated misses, 1.0 tracks only
+  /// the latest observation.
+  double trust_learning_rate = 0.08;
 };
 
 /// Per-camera trust scores maintained by the resilience service: peer boxes
@@ -18,17 +22,23 @@ struct FusionConfig {
 /// ("proactively uncover faulty operational situations", §IV-C).
 class TrustManager {
  public:
-  explicit TrustManager(std::size_t num_cameras, double initial_trust = 1.0);
+  /// `learning_rate` is validated into (0, 1] (see
+  /// FusionConfig::trust_learning_rate, the canonical source of the value).
+  explicit TrustManager(std::size_t num_cameras, double initial_trust = 1.0,
+                        double learning_rate = 0.08);
 
-  /// Records whether a box from `camera` was corroborated locally.
+  /// Records whether a box from `camera` was corroborated locally. The
+  /// updated trust is clamped into [0, 1] so accumulated floating-point
+  /// drift can never push a score outside its meaningful range.
   void observe(std::size_t camera, bool verified);
 
   double trust(std::size_t camera) const;
   std::size_t num_cameras() const { return trust_.size(); }
+  double learning_rate() const { return learning_rate_; }
 
  private:
   std::vector<double> trust_;
-  double learning_rate_ = 0.08;
+  double learning_rate_;
 };
 
 /// Remaps a peer detection into the receiving camera's coordinate frame.

@@ -55,6 +55,15 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when cooperative cancellation (a fired CancellationToken — e.g.
+/// a drain, a lost hedge race) aborts work before it could complete. The
+/// work was neither attempted nor failed on its own terms; callers that
+/// distinguish "gave up" from "was told to stop" catch this type.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 template <typename E>

@@ -16,6 +16,10 @@
 //   rank   domain              acquired while holding
 //   ----   ------------------  -------------------------------------------
 //    100   kModelRegistry      nothing (outermost serving-path lock)
+//    150   kLifecycle          nothing (admission gate + drain wait; may be
+//                              taken before any serving-path lock, so it
+//                              sits between the registry writer lock and
+//                              the usage meter)
 //    200   kUsageMeter         nothing today; may nest under the registry
 //    300   kThreadPool         nothing (queue lock; tasks run unlocked)
 //    310   kChannel            nothing (in-memory MPMC queue)
@@ -61,6 +65,8 @@ namespace eugene {
 /// saying what they may be held under.
 enum class LockRank : std::uint16_t {
   kModelRegistry = 100,     ///< serving/registry.hpp — entry table
+  kLifecycle = 150,         ///< common/lifecycle.hpp — server state machine +
+                            ///< in-flight count; nothing nests inside it
   kUsageMeter = 200,        ///< serving/usage.hpp — accumulators + journal fd
   kThreadPool = 300,        ///< common/thread_pool.hpp — work queue
   kChannel = 310,           ///< common/channel.hpp — MPMC queue state

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -47,17 +48,46 @@ inline double backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt,
 /// Calls `fn` until it succeeds or the attempt budget is exhausted, sleeping
 /// the backoff delay between tries. Retries on eugene::Error; the final
 /// attempt's exception propagates. Returns fn's result.
+///
+/// Cancellation-aware (DESIGN.md §13 drain path): a non-null `cancel` token
+/// is consulted between attempts and *during* backoff sleeps (the sleep is
+/// sliced so cancellation cuts it short within ~1 ms). The attempt already
+/// running is never interrupted — cancellation is cooperative, like
+/// everywhere else — but no further attempt starts once the token fires:
+/// the last failure's exception propagates immediately. A retry loop inside
+/// a draining server therefore stops burning backoff budget the moment the
+/// drain cancels its work.
 template <typename F>
-auto retry_with_backoff(const RetryPolicy& policy, Rng& rng, F&& fn) {
+auto retry_with_backoff(const RetryPolicy& policy, Rng& rng, F&& fn,
+                        const CancellationToken* cancel = nullptr) {
   EUGENE_REQUIRE(policy.max_attempts >= 1, "retry_with_backoff: zero attempts");
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       return fn();
     } catch (const Error&) {
       if (attempt >= policy.max_attempts) throw;
+      if (cancel != nullptr && cancel->cancelled()) throw;
     }
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        backoff_delay_ms(policy, attempt, rng)));
+    const double delay_ms = backoff_delay_ms(policy, attempt, rng);
+    if (cancel == nullptr) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    } else {
+      // Sliced sleep: wake every millisecond to poll the token, so a drain
+      // is never stuck behind a capped-out backoff delay.
+      double remaining = delay_ms;
+      while (remaining > 0.0 && !cancel->cancelled()) {
+        const double slice = std::min(remaining, 1.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(slice));
+        remaining -= slice;
+      }
+      if (cancel->cancelled()) {
+        // Surface the abort as the in-flight failure would have: re-run the
+        // attempt bookkeeping by throwing the typed cancellation error.
+        throw CancelledError("retry_with_backoff: cancelled during backoff");
+      }
+    }
   }
 }
 

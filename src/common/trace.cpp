@@ -18,6 +18,8 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kExpire: return "expire";
     case TraceEventKind::kDegrade: return "degrade";
     case TraceEventKind::kExit: return "exit";
+    case TraceEventKind::kDrain: return "drain";
+    case TraceEventKind::kSwap: return "swap";
   }
   return "?";
 }

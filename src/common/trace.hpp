@@ -50,6 +50,9 @@ enum class TraceEventKind : std::uint8_t {
   kDegrade,      ///< budget exhausted; answering with best result so far
   kExit,         ///< final response emitted; stage = stages_run,
                  ///< value = confidence
+  kDrain,        ///< request rejected because the server is draining
+  kSwap,         ///< registry mutation published a new epoch while this
+                 ///< request was in flight; value = new epoch number
 };
 
 /// Stable lower-case name of a kind ("admit", "stage_done", ...).

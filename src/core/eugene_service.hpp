@@ -13,11 +13,13 @@
 #pragma once
 
 #include "calib/calibrators.hpp"
+#include "common/lifecycle.hpp"
 #include "labeling/self_training.hpp"
 #include "profile/timing.hpp"
 #include "reduce/cache.hpp"
 #include "serving/server.hpp"
 #include "serving/snapshot.hpp"
+#include "serving/usage.hpp"
 
 namespace eugene::core {
 
@@ -34,10 +36,27 @@ struct StageProfile {
   std::vector<double> stage_flops;  ///< analytic FLOPs
 };
 
+/// What begin_drain() should do after in-flight work stops (DESIGN.md §13).
+struct DrainOptions {
+  double timeout_ms = 5000.0;  ///< bound on waiting for in-flight requests
+  /// Non-empty: write a final crash-consistent snapshot here once drained.
+  std::string snapshot_dir;
+  /// Non-null: flush + detach this meter's usage journal once drained, so a
+  /// restart replays a complete billing ledger.
+  serving::UsageMeter* usage = nullptr;
+};
+
+/// Outcome of the full drain sequence.
+struct DrainOutcome {
+  DrainReport report;                ///< what the lifecycle machine observed
+  std::uint64_t snapshot_epoch = 0;  ///< committed epoch (0: no snapshot asked)
+  bool journal_flushed = false;      ///< a usage journal was flushed + closed
+};
+
 /// The Eugene deep-intelligence service.
 class EugeneService {
  public:
-  EugeneService() = default;
+  EugeneService();
 
   // ---- §II-A: training --------------------------------------------------
   /// Trains a staged ResNet on client data and registers it. Returns the
@@ -77,9 +96,12 @@ class EugeneService {
                               const calib::EntropyCalibConfig& config = {});
 
   // ---- §II-E + §III: run-time inference -----------------------------------
-  /// Schedules a batch of concurrent requests on the model. When
-  /// `config.trace` is null the service's own recorder is injected, so
-  /// every response carries a span_id resolvable through trace().
+  /// Schedules a batch of concurrent requests on the model. The batch pins
+  /// one registry epoch for its whole duration, so a concurrent swap or
+  /// reload never changes the model mid-request. When `config.trace` is null
+  /// the service's own recorder is injected, so every response carries a
+  /// span_id resolvable through trace(); when `config.lifecycle` is null the
+  /// service's own lifecycle machine gates admission.
   std::vector<serving::InferenceResponse> infer_batch(
       std::size_t handle, const std::vector<serving::InferenceRequest>& requests,
       const serving::ServerConfig& config);
@@ -100,10 +122,9 @@ class EugeneService {
   // ---- durability (DESIGN.md §9) ------------------------------------------
   /// Snapshots every registered model — weights, confidence curves, stage
   /// costs, calibration α — crash-consistently under `dir`; returns the
-  /// committed epoch. Model state is read unsynchronized: do not snapshot
-  /// while train()/profile()/calibrate() is mutating a registered model
-  /// (see serving/snapshot.hpp). Concurrent inference is fine — serving
-  /// never mutates entries.
+  /// committed epoch. Safe under live traffic: the snapshot pins one
+  /// registry epoch and reads only immutable published state, so no quiesce
+  /// is needed and concurrent infer/profile/calibrate/swap are all fine.
   std::uint64_t snapshot(const std::string& dir);
 
   /// Warm restart: restores every model from `dir`'s last committed
@@ -112,11 +133,43 @@ class EugeneService {
   /// Returns the number of models restored (0 when no snapshot exists).
   std::size_t restore(const std::string& dir, const serving::ModelFactory& factory);
 
+  // ---- zero-downtime lifecycle (DESIGN.md §13) ----------------------------
+  /// Hot reload under live traffic: rebuilds every model in `dir`'s last
+  /// committed snapshot off to the side, then publishes them as ONE new
+  /// registry epoch (same-named entries keep their handles; new names
+  /// append). In-flight requests keep serving their pinned epoch. Records a
+  /// kSwap trace event carrying the new epoch. Returns the number of models
+  /// published (0 when no snapshot exists).
+  std::size_t reload(const std::string& dir, const serving::ModelFactory& factory);
+
+  /// Hot model swap under live traffic: atomically publishes `model` as the
+  /// new version behind `handle`. With keep_artifacts (the default) the
+  /// entry's curves, stage costs, and calibration α carry over — the new
+  /// model must then have the same stage count (retrained weights, same
+  /// architecture). Pass keep_artifacts=false for a different architecture
+  /// and re-profile/re-calibrate before serving it.
+  void swap_model(std::size_t handle, nn::StagedModel model,
+                  bool keep_artifacts = true);
+
+  /// Graceful drain (SIGTERM path): rejects new admissions with typed drain
+  /// responses, waits (bounded) for in-flight work, flushes the usage
+  /// journal, writes the final snapshot, then transitions to Stopped.
+  /// Idempotent — a second call finds the machine already stopped and only
+  /// re-runs the flush/snapshot steps it was asked for.
+  DrainOutcome begin_drain(const DrainOptions& options = {});
+
+  /// The service's lifecycle machine. infer_batch() injects it into every
+  /// ServerConfig that does not carry its own, so service-level traffic is
+  /// always gated; external schedulers (run_live) can share it via
+  /// LiveConfig::lifecycle.
+  ServerLifecycle& lifecycle() { return lifecycle_; }
+
   serving::ModelRegistry& registry() { return registry_; }
 
  private:
   serving::ModelRegistry registry_;
   telemetry::TraceRecorder trace_;
+  ServerLifecycle lifecycle_;
 };
 
 }  // namespace eugene::core

@@ -44,7 +44,25 @@ class Layer {
 
   /// Diagnostic name, e.g. "conv3x3(8->32)".
   virtual std::string name() const = 0;
+
+  /// Deep copy of the layer's *persistent* state: configuration and learned
+  /// parameters, never the forward/backward scratch (cached activations,
+  /// masks, gradient accumulators). Two guarantees follow: (a) a clone is
+  /// independent — training or serving it never touches the original — and
+  /// (b) cloning only *reads* memory that inference never writes, so it is
+  /// safe to clone a model that another thread is concurrently running
+  /// inference on (the copy-on-write model registry and the live scheduler's
+  /// replica builder both rely on this).
+  virtual std::unique_ptr<Layer> clone() const = 0;
 };
+
+/// Downcasting clone helper for callers that hold a concrete layer type
+/// (every concrete layer is `final`, so clone() returns exactly that type).
+template <typename L>
+std::unique_ptr<L> clone_layer_as(const L& layer) {
+  std::unique_ptr<Layer> copy = layer.clone();
+  return std::unique_ptr<L>(static_cast<L*>(copy.release()));
+}
 
 /// Ordered container of layers, itself a layer.
 class Sequential final : public Layer {
@@ -86,6 +104,15 @@ class Sequential final : public Layer {
   }
 
   std::string name() const override { return "sequential(" + std::to_string(layers_.size()) + ")"; }
+
+  std::unique_ptr<Layer> clone() const override { return clone_sequential(); }
+
+  /// Typed clone (Sequential is what StagedModel stages are built from).
+  std::unique_ptr<Sequential> clone_sequential() const {
+    auto copy = std::make_unique<Sequential>();
+    for (const auto& layer : layers_) copy->add(layer->clone());
+    return copy;
+  }
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) {

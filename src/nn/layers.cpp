@@ -218,7 +218,7 @@ std::vector<ParamRef> ChannelNorm::params() {
 // --------------------------------------------------------------- Dropout
 
 Dropout::Dropout(float drop_probability, std::uint64_t seed)
-    : p_(drop_probability), rng_(seed) {
+    : p_(drop_probability), seed_(seed), rng_(seed) {
   EUGENE_REQUIRE(p_ >= 0.0f && p_ < 1.0f, "Dropout: probability must be in [0, 1)");
 }
 
@@ -324,5 +324,52 @@ Tensor MaxPool2::backward(const Tensor& grad_output) {
   for (std::size_t i = 0; i < argmax_.size(); ++i) gi[argmax_[i]] += g[i];
   return grad_in;
 }
+
+// ----------------------------------------------------------------- clone
+//
+// Each clone() copies configuration + learned parameters only. Forward /
+// backward scratch (cached activations, masks, argmax tables, gradient
+// accumulators) stays at its freshly-constructed state: it is meaningless
+// outside a forward/backward pair, and it is the only layer state written
+// by concurrent inference — skipping it is what makes cloning a published,
+// actively-served model race-free (see Layer::clone).
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  Rng init_rng(0);  // initializer weights are replaced by the copy below
+  auto copy = std::make_unique<Conv2d>(geometry_, init_rng);
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  Rng init_rng(0);  // initializer weights are replaced by the copy below
+  auto copy = std::make_unique<Dense>(in_features_, out_features_, init_rng);
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+std::unique_ptr<Layer> ChannelNorm::clone() const {
+  auto copy = std::make_unique<ChannelNorm>(channels_, epsilon_);
+  copy->gain_ = gain_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  // Restart the sampler from the construction seed rather than copying the
+  // advancing rng_ state: the latter is mutated by MC-dropout forwards, which
+  // would break the clone-never-reads-inference-written-memory guarantee.
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(); }
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const { return std::make_unique<GlobalAvgPool>(); }
+
+std::unique_ptr<Layer> MaxPool2::clone() const { return std::make_unique<MaxPool2>(); }
 
 }  // namespace eugene::nn

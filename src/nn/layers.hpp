@@ -19,6 +19,7 @@ class Conv2d final : public Layer {
   std::vector<ParamRef> params() override;
   double flops() const override { return geometry_.flops(); }
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
   const tensor::Conv2dGeometry& geometry() const { return geometry_; }
   tensor::Tensor& weights() { return weights_; }
@@ -45,6 +46,7 @@ class Dense final : public Layer {
     return 2.0 * static_cast<double>(in_features_) * static_cast<double>(out_features_);
   }
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
   std::size_t in_features() const { return in_features_; }
   std::size_t out_features() const { return out_features_; }
@@ -67,6 +69,7 @@ class ReLU final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::string name() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   tensor::Tensor mask_;  ///< 1 where input > 0
@@ -85,6 +88,7 @@ class ChannelNorm final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string name() const override { return "channel_norm(" + std::to_string(channels_) + ")"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   std::size_t channels_;
@@ -107,11 +111,14 @@ class Dropout final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
   float drop_probability() const { return p_; }
 
  private:
   float p_;
+  std::uint64_t seed_;  ///< construction seed; clone() restarts from it so
+                        ///< cloning never reads the advancing sampler state
   Rng rng_;
   tensor::Tensor mask_;
   bool last_training_ = false;
@@ -123,6 +130,7 @@ class Flatten final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::string name() const override { return "flatten"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   tensor::Shape cached_shape_;
@@ -134,6 +142,7 @@ class GlobalAvgPool final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::string name() const override { return "global_avg_pool"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   tensor::Shape cached_shape_;
@@ -145,6 +154,7 @@ class MaxPool2 final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::string name() const override { return "max_pool2"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   tensor::Shape cached_in_shape_;

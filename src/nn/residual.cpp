@@ -72,4 +72,18 @@ std::string ResidualBlock::name() const {
   return "residual_block(" + std::to_string(channels_) + ")";
 }
 
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+  // The public constructor re-derives geometry from (channels, height, width),
+  // but height/width are not stored — deep-copy the sublayers instead.
+  // NOLINTNEXTLINE(*-owning-memory): private default ctor, make_unique cannot reach it
+  std::unique_ptr<ResidualBlock> copy(new ResidualBlock());
+  copy->channels_ = channels_;
+  copy->conv1_ = clone_layer_as(*conv1_);
+  copy->norm1_ = clone_layer_as(*norm1_);
+  copy->relu1_ = clone_layer_as(*relu1_);
+  copy->conv2_ = clone_layer_as(*conv2_);
+  copy->norm2_ = clone_layer_as(*norm2_);
+  return copy;
+}
+
 }  // namespace eugene::nn

@@ -20,9 +20,14 @@ class ResidualBlock final : public Layer {
   std::vector<ParamRef> params() override;
   double flops() const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
  private:
-  std::size_t channels_;
+  /// Empty shell filled member-by-member by clone() (height/width are not
+  /// stored, so a clone cannot rebuild through the public constructor).
+  ResidualBlock() = default;
+
+  std::size_t channels_ = 0;
   std::unique_ptr<Conv2d> conv1_;
   std::unique_ptr<ChannelNorm> norm1_;
   std::unique_ptr<ReLU> relu1_;

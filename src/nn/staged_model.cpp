@@ -113,6 +113,13 @@ std::size_t StagedModel::stage_param_bytes(std::size_t s) {
   return count * sizeof(float);
 }
 
+StagedModel StagedModel::clone() const {
+  StagedModel copy(num_classes_);
+  for (const auto& stage : stages_)
+    copy.add_stage(stage.trunk->clone_sequential(), stage.head->clone_sequential());
+  return copy;
+}
+
 StagedModel build_staged_resnet(const StagedResNetConfig& config) {
   EUGENE_REQUIRE(!config.stage_channels.empty(), "build_staged_resnet: no stages");
   EUGENE_REQUIRE(config.blocks_per_stage >= 1, "build_staged_resnet: need >=1 block");

@@ -71,6 +71,12 @@ class StagedModel {
   /// a stage on a device costs in download/storage (paper §II-B, §IV-A).
   std::size_t stage_param_bytes(std::size_t s);
 
+  /// Deep copy of configuration + learned parameters (never forward/backward
+  /// scratch — see Layer::clone for the concurrency contract this obeys).
+  /// Used by the copy-on-write model registry and the live scheduler's
+  /// replica builder; both may clone a model that is concurrently serving.
+  StagedModel clone() const;
+
  private:
   struct Stage {
     std::unique_ptr<Sequential> trunk;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <deque>
 #include <optional>
-#include <sstream>
 #include <thread>
 
 #include "common/cancellation.hpp"
@@ -15,27 +14,18 @@
 #include "common/fifo_channel.hpp"
 #include "common/histogram.hpp"
 #include "common/logging.hpp"
-#include "nn/serialize.hpp"
 
 namespace eugene::sched {
 
 using tensor::Tensor;
 
 std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
-    nn::StagedModel& source, const std::function<nn::StagedModel()>& build,
-    std::size_t count) {
+    const nn::StagedModel& source, std::size_t count) {
   EUGENE_REQUIRE(count > 0, "replicate_staged_model: count must be positive");
-  std::stringstream weights;
-  nn::save_params(source.params(), weights);
   std::vector<std::unique_ptr<nn::StagedModel>> replicas;
   replicas.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    auto model = std::make_unique<nn::StagedModel>(build());
-    weights.clear();
-    weights.seekg(0);
-    nn::load_params(model->params(), weights);
-    replicas.push_back(std::move(model));
-  }
+  for (std::size_t i = 0; i < count; ++i)
+    replicas.push_back(std::make_unique<nn::StagedModel>(source.clone()));
   return replicas;
 }
 
@@ -137,6 +127,35 @@ std::vector<LiveTaskResult> run_live(
                  "run_live: hedge_quantile outside (0, 1]");
   EUGENE_REQUIRE(config.hedge_min_samples >= 1,
                  "run_live: hedge_min_samples must be >= 1");
+
+  // Lifecycle gate (DESIGN.md §13): checked before any worker thread starts.
+  // A draining server answers the whole batch with typed drained=true
+  // results; an admitted batch holds `inputs.size()` in-flight units for the
+  // duration of this call, so begin_drain() waits for it.
+  if (config.lifecycle != nullptr && !config.lifecycle->try_admit(inputs.size())) {
+    WallClock reject_clock;
+    const double now = reject_clock.now_ms();
+    std::vector<LiveTaskResult> rejected(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      rejected[i].task_id = i;
+      rejected[i].drained = true;
+      if (config.trace != nullptr) {
+        telemetry::SpanHandle span = config.trace->begin_span(now);
+        span.event(telemetry::TraceEventKind::kDrain, now);
+        rejected[i].span_id = span.id();
+      }
+    }
+    if (config.metrics != nullptr)
+      config.metrics->counter("sched.live.drain.rejections").inc(inputs.size());
+    return rejected;
+  }
+  struct LifecycleFinisher {
+    eugene::ServerLifecycle* lifecycle;
+    std::size_t units;
+    ~LifecycleFinisher() {
+      if (lifecycle != nullptr) lifecycle->finish(units);
+    }
+  } lifecycle_finisher{config.lifecycle, inputs.size()};
 
   GpUtilityEstimator estimator(curves);
   GreedyUtilityPolicy policy(estimator, config.lookahead);

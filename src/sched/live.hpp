@@ -41,6 +41,7 @@
 #include <memory>
 
 #include "common/health.hpp"
+#include "common/lifecycle.hpp"
 #include "common/metrics.hpp"
 #include "common/retry.hpp"
 #include "common/trace.hpp"
@@ -84,6 +85,14 @@ struct LiveConfig {
   // process-wide registry behind EugeneService::metrics_text().
   telemetry::TraceRecorder* trace = nullptr;
   telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
+
+  // Lifecycle gate (DESIGN.md §13). When set, the batch is admitted through
+  // ServerLifecycle::try_admit before any worker starts: a draining server
+  // answers every task with drained=true (typed rejection, zero stages run)
+  // and the in-flight count covers the whole run_live call, so
+  // begin_drain() waits for in-flight batches to finish. Null = always
+  // admit.
+  eugene::ServerLifecycle* lifecycle = nullptr;
 };
 
 /// Final outcome of one live task.
@@ -94,6 +103,8 @@ struct LiveTaskResult {
   std::size_t stages_run = 0;
   bool expired = false;           ///< deadline reached before all stages
   bool degraded = false;          ///< retry budget exhausted; best-effort answer
+  bool drained = false;           ///< rejected: server draining/stopped; no
+                                  ///< stage ran, resubmit elsewhere
   std::size_t retries = 0;        ///< re-dispatches this task consumed
   double latency_ms = 0.0;        ///< submission to final result
   std::uint64_t span_id = 0;      ///< trace span (0 when the run was untraced)
@@ -135,10 +146,10 @@ std::vector<LiveTaskResult> run_live(
     const std::vector<tensor::Tensor>& inputs, const LiveConfig& config,
     LiveStats* stats = nullptr);
 
-/// Builds `count` architecture-identical replicas of `source` (constructed
-/// via `build` and weight-copied through serialization).
+/// Builds `count` identical replicas of `source` via StagedModel::clone —
+/// persistent state only, so replicating a model that is concurrently
+/// serving (e.g. a published registry entry) is race-free.
 std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
-    nn::StagedModel& source, const std::function<nn::StagedModel()>& build,
-    std::size_t count);
+    const nn::StagedModel& source, std::size_t count);
 
 }  // namespace eugene::sched

@@ -74,6 +74,38 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     EUGENE_REQUIRE(r.input.numel() > 0, "process_batch: empty input tensor");
   }
 
+  // Lifecycle gate (DESIGN.md §13): checked before every other admission
+  // decision — including the brown-out seam below — so a draining server
+  // answers with typed drain rejections, never brown-out sheds. No stage
+  // runs for a rejected batch.
+  if (config_.lifecycle != nullptr &&
+      !config_.lifecycle->try_admit(requests.size())) {
+    WallClock reject_clock;
+    const double now = reject_clock.now_ms();
+    std::vector<InferenceResponse> rejected(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      rejected[i].draining = true;
+      if (config_.trace != nullptr) {
+        telemetry::SpanHandle span = config_.trace->begin_span(
+            now, static_cast<std::uint32_t>(requests[i].service_class));
+        span.event(telemetry::TraceEventKind::kDrain, now);
+        rejected[i].span_id = span.id();
+      }
+    }
+    if (config_.metrics != nullptr)
+      config_.metrics->counter("serving.drain.rejections").inc(requests.size());
+    return rejected;
+  }
+  // Every admitted unit is finished exactly once, on every exit path — this
+  // is what makes begin_drain()'s in-flight count reach zero.
+  struct LifecycleFinisher {
+    ServerLifecycle* lifecycle;
+    std::size_t units;
+    ~LifecycleFinisher() {
+      if (lifecycle != nullptr) lifecycle->finish(units);
+    }
+  } finisher{config_.lifecycle, requests.size()};
+
   const std::size_t num_stages = entry_.model.num_stages();
   sched::GpUtilityEstimator estimator(entry_.curves);
   sched::GreedyUtilityPolicy policy(estimator, config_.lookahead);

@@ -18,6 +18,7 @@
 
 #include <limits>
 
+#include "common/lifecycle.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "serving/registry.hpp"
@@ -46,6 +47,9 @@ struct InferenceResponse {
   bool degraded = false;   ///< shed under overload or stage-failure budget spent
   bool browned_out = false;  ///< shed by the adaptive admission controller
                              ///< (would have been admitted at level 0)
+  bool draining = false;   ///< rejected: the server is draining/stopped — the
+                           ///< typed drain response; no stage ran, resubmit
+                           ///< elsewhere (never combined with degraded/shed)
   std::size_t retries = 0; ///< stage re-executions consumed by faults
   double latency_ms = 0.0;
   std::uint64_t span_id = 0;  ///< trace span (0 when the run was untraced)
@@ -101,6 +105,13 @@ struct ServerConfig {
   // EugeneService::metrics_text().
   telemetry::TraceRecorder* trace = nullptr;
   telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::global();
+
+  // Lifecycle gate (DESIGN.md §13). When set, every batch is admitted
+  // through ServerLifecycle::try_admit *before* any other admission logic
+  // (brown-out included): a draining server answers the whole batch with
+  // draining=true responses — a typed rejection, never a shed. Null means
+  // "always admit" (standalone tests and benches).
+  ServerLifecycle* lifecycle = nullptr;
 };
 
 /// Schedules a batch of concurrent requests over one model instance,

@@ -237,15 +237,23 @@ void decode_artifacts_payload(const std::vector<std::uint8_t>& payload,
 
 }  // namespace detail
 
-std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir) {
+std::uint64_t save_snapshot(const ModelRegistry& registry, const std::string& dir) {
   ensure_dir(dir);
   const std::uint64_t epoch = next_epoch(dir);
 
+  // Pin one registry epoch for the whole walk: every write below reads this
+  // immutable view, so concurrent update/replace/reload publications cannot
+  // tear the snapshot — they land in later epochs the pin never sees.
+  const ModelRegistry::ViewPtr view = registry.pin();
+  // Chaos seam: widen the pin-to-write window so mutator publications overlap
+  // the file walk (the lifecycle chaos suite races swaps against this).
+  EUGENE_FAILPOINT("snapshot.live.race");
+
   Manifest manifest;
   manifest.epoch = epoch;
-  const std::size_t count = registry.size();
+  const std::size_t count = view->size();
   for (std::size_t i = 0; i < count; ++i) {
-    ModelEntry& entry = registry.entry(i);
+    ModelEntry& entry = view->entry(i);
     ManifestEntry me;
     me.name = entry.name;
     me.params_file = "model-" + std::to_string(i) + ".params." + std::to_string(epoch);
@@ -270,6 +278,24 @@ std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir) {
   return epoch;
 }
 
+namespace {
+
+/// Loads one manifest entry into a fully-built, unpublished ModelEntry:
+/// factory architecture → checkpoint weights → artifacts. Publication is the
+/// caller's move (add_entry for restore, replace_or_add for reload).
+std::shared_ptr<ModelEntry> build_entry(const std::string& dir, const ManifestEntry& me,
+                                        const ModelFactory& factory) {
+  auto entry = std::make_shared<ModelEntry>(me.name, factory(me.name));
+  nn::load_params_file(entry->model.params(), dir + "/" + me.params_file);
+  const io::Blob blob =
+      io::read_blob_file(dir + "/" + me.artifacts_file, kArtifactsMagic,
+                         kArtifactsVersion, "model artifacts");
+  decode_artifacts(blob.payload, *entry, "model artifacts '" + me.name + "'");
+  return entry;
+}
+
+}  // namespace
+
 std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
                                               const std::string& dir,
                                               const ModelFactory& factory) {
@@ -280,17 +306,34 @@ std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
   RestoreResult result;
   result.epoch = manifest->epoch;
   for (const auto& me : manifest->models) {
-    nn::StagedModel model = factory(me.name);
-    const std::size_t handle = registry.add(me.name, std::move(model));
-    ModelEntry& entry = registry.entry(handle);
-    nn::load_params_file(entry.model.params(), dir + "/" + me.params_file);
-    const io::Blob blob =
-        io::read_blob_file(dir + "/" + me.artifacts_file, kArtifactsMagic,
-                           kArtifactsVersion, "model artifacts");
-    decode_artifacts(blob.payload, entry, "model artifacts '" + me.name + "'");
+    registry.add_entry(build_entry(dir, me, factory));
     ++result.models_restored;
   }
   EUGENE_LOG(Info) << "snapshot: restored epoch " << result.epoch << " ("
+                   << result.models_restored << " model(s)) from " << dir;
+  return result;
+}
+
+std::optional<RestoreResult> reload_snapshot(ModelRegistry& registry,
+                                             const std::string& dir,
+                                             const ModelFactory& factory) {
+  EUGENE_REQUIRE(factory != nullptr, "reload_snapshot: null model factory");
+  const std::optional<Manifest> manifest = read_manifest(dir);
+  if (!manifest.has_value()) return std::nullopt;
+
+  // Build everything off to the side first: a corrupt file aborts the reload
+  // before any publication, and the batch publish below lands every model in
+  // ONE registry epoch — live traffic never sees a half-reloaded set.
+  std::vector<std::shared_ptr<ModelEntry>> entries;
+  entries.reserve(manifest->models.size());
+  for (const auto& me : manifest->models)
+    entries.push_back(build_entry(dir, me, factory));
+
+  RestoreResult result;
+  result.epoch = manifest->epoch;
+  result.models_restored = entries.size();
+  registry.replace_or_add(std::move(entries));
+  EUGENE_LOG(Info) << "snapshot: reloaded epoch " << result.epoch << " ("
                    << result.models_restored << " model(s)) from " << dir;
   return result;
 }

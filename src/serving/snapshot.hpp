@@ -19,8 +19,10 @@
 // falls back to the last good snapshot. Corrupt state surfaces as typed
 // eugene::CorruptionError, never garbage weights or a hang.
 //
-// Failpoint seam: snapshot.manifest.crash fires between artifact writes and
-// the MANIFEST commit (the recovery chaos suite kills the writer there).
+// Failpoint seams: snapshot.manifest.crash fires between artifact writes and
+// the MANIFEST commit (the recovery chaos suite kills the writer there);
+// snapshot.live.race fires right after the registry pin, widening the window
+// in which concurrent registry mutations overlap the file walk.
 #pragma once
 
 #include <cstdint>
@@ -48,22 +50,35 @@ struct RestoreResult {
 /// (created if missing) and returns the committed epoch. Previous-epoch
 /// files are deleted only after the new MANIFEST is committed.
 ///
-/// Concurrency: entry contents (weights, curves, costs, α) are read without
-/// synchronization — ModelRegistry guards the entry table, not the entries.
-/// Callers must quiesce mutation of the snapshotted entries (train/profile/
-/// calibrate) for the duration; snapshotting concurrently with mutation is a
-/// data race and can commit a torn-in-memory (though CRC-valid) snapshot.
-[[nodiscard]] std::uint64_t save_snapshot(ModelRegistry& registry, const std::string& dir);
+/// Concurrency: safe under live traffic and live mutation, no quiesce
+/// needed. The walk pins one registry epoch (ModelRegistry::pin) and reads
+/// only that immutable view; publications that race the walk land in later
+/// epochs and are simply not part of this snapshot.
+[[nodiscard]] std::uint64_t save_snapshot(const ModelRegistry& registry,
+                                          const std::string& dir);
 
-/// Restores every model named by `dir`'s committed MANIFEST into `registry`
-/// (via ModelRegistry::add — a name collision with an existing entry throws
-/// InvalidArgument). Returns std::nullopt when the directory holds no
-/// committed snapshot; throws CorruptionError when it holds a damaged one.
-/// On failure the registry may already hold the entries restored before the
-/// corrupt one — restore into a fresh registry and discard it on error.
+/// Restores every model named by `dir`'s committed MANIFEST into `registry`.
+/// Each entry is fully built off to the side (architecture → weights →
+/// artifacts) and only then published via ModelRegistry::add_entry — a name
+/// collision with an existing entry throws InvalidArgument. Returns
+/// std::nullopt when the directory holds no committed snapshot; throws
+/// CorruptionError when it holds a damaged one. On failure the registry may
+/// already hold the entries restored before the corrupt one — restore into a
+/// fresh registry and discard it on error.
 [[nodiscard]] std::optional<RestoreResult> restore_snapshot(ModelRegistry& registry,
                                               const std::string& dir,
                                               const ModelFactory& factory);
+
+/// Hot reload under live traffic: like restore_snapshot, but same-named
+/// models *replace* their existing entries (keeping their handles) instead
+/// of throwing, and every change is published in ONE registry epoch — an
+/// in-flight request pinned to the old epoch finishes on the old models,
+/// new admissions see the complete new set, and no reader ever observes a
+/// half-reloaded registry. All entries are built (and any corruption
+/// thrown) before anything is published.
+[[nodiscard]] std::optional<RestoreResult> reload_snapshot(ModelRegistry& registry,
+                                             const std::string& dir,
+                                             const ModelFactory& factory);
 
 namespace detail {
 

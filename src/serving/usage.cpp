@@ -213,6 +213,20 @@ UsageMeter::~UsageMeter() {
   if (journal_fd_ >= 0) ::close(journal_fd_);
 }
 
+void UsageMeter::close_journal() {
+  MutexLock lock(mutex_);
+  if (journal_fd_ < 0) return;
+  // Every committed frame was fsynced on append, so the final fsync here is
+  // belt-and-braces for the (empty) tail; failure still detaches the fd.
+  const bool synced = ::fsync(journal_fd_) == 0;
+  const int saved = errno;
+  ::close(journal_fd_);
+  journal_fd_ = -1;
+  journal_version_ = 0;
+  if (!synced)
+    throw IoError("UsageMeter: fsync on close_journal: " + std::string(std::strerror(saved)));
+}
+
 void UsageMeter::open_journal(const std::string& path) {
   MutexLock lock(mutex_);
   // Reopening after a crash mid-append must not append after a torn tail:

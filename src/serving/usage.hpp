@@ -114,6 +114,12 @@ class UsageMeter {
   /// a journal (bad magic, future version, mid-file damage).
   void open_journal(const std::string& path) EUGENE_EXCLUDES(mutex_);
 
+  /// Flushes and detaches the journal (drain path: every committed frame is
+  /// already fsynced, so this only closes the fd). Idempotent; record() calls
+  /// after close accumulate in memory only. Throws IoError when the final
+  /// fsync fails — the fd is detached either way.
+  void close_journal() EUGENE_EXCLUDES(mutex_);
+
   /// Replays a journal written by open_journal()/record() into the
   /// accumulators. Stops cleanly at a torn tail frame (crash mid-append);
   /// throws CorruptionError when the file is not a journal, has a future

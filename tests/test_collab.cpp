@@ -167,6 +167,40 @@ TEST(Trust, ErodesForUnverifiedProducers) {
   EXPECT_THROW(trust.trust(5), InvalidArgument);
 }
 
+TEST(Trust, LearningRateIsConfigurableAndValidated) {
+  // The rate comes from FusionConfig (the experiment wires it through); it
+  // must lie in (0, 1].
+  FusionConfig fusion;
+  TrustManager fast(2, 1.0, 1.0);
+  fast.observe(0, false);
+  EXPECT_DOUBLE_EQ(fast.trust(0), 0.0);  // rate 1.0 tracks the last outcome
+  fast.observe(0, true);
+  EXPECT_DOUBLE_EQ(fast.trust(0), 1.0);
+
+  TrustManager slow(2, 1.0, 0.01);
+  for (int i = 0; i < 10; ++i) slow.observe(0, false);
+  EXPECT_GT(slow.trust(0), 0.8);  // a small rate forgives isolated misses
+  EXPECT_DOUBLE_EQ(fast.learning_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(TrustManager(1).learning_rate(),
+                   fusion.trust_learning_rate);  // default matches the config
+
+  EXPECT_THROW(TrustManager(2, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(TrustManager(2, 1.0, -0.1), InvalidArgument);
+  EXPECT_THROW(TrustManager(2, 1.0, 1.5), InvalidArgument);
+}
+
+TEST(Trust, ScoresStayClampedToUnitInterval) {
+  // Even at the extreme rate, long streaks can never push trust outside
+  // [0, 1] through accumulated floating-point drift.
+  TrustManager trust(1, 0.5, 0.97);
+  for (int i = 0; i < 1000; ++i) trust.observe(0, true);
+  EXPECT_LE(trust.trust(0), 1.0);
+  EXPECT_GT(trust.trust(0), 0.999);
+  for (int i = 0; i < 1000; ++i) trust.observe(0, false);
+  EXPECT_GE(trust.trust(0), 0.0);
+  EXPECT_LT(trust.trust(0), 0.001);
+}
+
 TEST(Trust, LowTrustPeerOnlyClustersAreDropped) {
   CameraConfig cfg;
   cfg.position = {0.0, 0.0};

@@ -15,9 +15,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <climits>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "calib/evaluation.hpp"
@@ -95,8 +97,7 @@ std::vector<tensor::Tensor> make_inputs(std::size_t n, std::uint64_t seed = 3) {
 
 std::vector<std::unique_ptr<nn::StagedModel>> make_replicas(std::size_t workers) {
   nn::StagedModel model = nn::build_staged_resnet(tiny_model_config());
-  return sched::replicate_staged_model(
-      model, [] { return nn::build_staged_resnet(tiny_model_config()); }, workers);
+  return sched::replicate_staged_model(model, workers);
 }
 
 /// A registered + curve-fitted model entry for server tests.
@@ -240,6 +241,75 @@ TEST(Fault, RetryWithBackoffRetriesThenSucceeds) {
                                   [&]() -> int { ++calls; throw TransportError("down"); }),
                TransportError);
   EXPECT_EQ(calls, 4);  // budget fully spent before giving up
+}
+
+TEST(Fault, RetryCancelledBetweenAttemptsStopsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.base_delay_ms = 0.1;
+  Rng rng(3);
+  CancellationToken cancel(std::numeric_limits<double>::infinity());
+  int calls = 0;
+  // The token fires during attempt 2: its failure propagates immediately —
+  // no third attempt, none of the remaining 98-attempt budget burned.
+  EXPECT_THROW(retry_with_backoff(
+                   policy, rng,
+                   [&]() -> int {
+                     if (++calls == 2) cancel.cancel();
+                     throw TransportError("down");
+                   },
+                   &cancel),
+               TransportError);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Fault, RetryCancelledMidBackoffCutsSleepShort) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 60000.0;  // uncancelled, this sleep outlives the test
+  policy.max_delay_ms = 60000.0;
+  policy.jitter = 0.0;
+  Rng rng(4);
+  CancellationToken cancel(std::numeric_limits<double>::infinity());
+
+  std::atomic<bool> started{false};
+  std::thread canceller([&] {
+    while (!started.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.cancel();
+  });
+
+  Stopwatch watch;
+  EXPECT_THROW(retry_with_backoff(
+                   policy, rng,
+                   [&]() -> int {
+                     started.store(true);
+                     throw TransportError("down");
+                   },
+                   &cancel),
+               CancelledError);
+  canceller.join();
+  // The sliced backoff sleep noticed the token within milliseconds, not
+  // after the full minute-long delay.
+  EXPECT_LT(watch.elapsed_ms(), 10000.0);
+}
+
+TEST(Fault, RetryNullTokenAndUnfiredTokenBehaveIdentically) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 0.1;
+  Rng rng(5);
+  CancellationToken never(std::numeric_limits<double>::infinity());
+  int calls = 0;
+  const int result = retry_with_backoff(
+      policy, rng,
+      [&] {
+        if (++calls < 3) throw TransportError("flaky");
+        return 7;
+      },
+      &never);
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);  // an unfired token never shrinks the budget
 }
 
 // ---------------------------------------------------------------------------

@@ -288,9 +288,7 @@ TEST(Race, LiveSchedulerAdmitWhileDraining) {
   curves.fit(eval);
 
   auto run_one = [&](double deadline_ms, std::size_t workers) {
-    auto replicas = sched::replicate_staged_model(
-        model, [] { return nn::build_staged_resnet(tiny_model_config()); },
-        workers);
+    auto replicas = sched::replicate_staged_model(model, workers);
     sched::LiveConfig cfg;
     cfg.deadline_ms = deadline_ms;
     const auto results =

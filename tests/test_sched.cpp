@@ -403,8 +403,7 @@ TEST(LiveScheduler, MatchesDirectInferenceWithoutDeadlines) {
   gp::ConfidenceCurveModel curves;
   curves.fit(eval);
 
-  auto replicas = replicate_staged_model(
-      model, [cfg] { return nn::build_staged_resnet(cfg); }, 2);
+  auto replicas = replicate_staged_model(model, 2);
   LiveConfig live_cfg;  // no deadline, no early exit
   const auto results = run_live(replicas, curves, batch.samples, live_cfg);
 
@@ -445,8 +444,7 @@ TEST(LiveScheduler, EarlyExitReducesExecutedStages) {
   gp::ConfidenceCurveModel curves;
   curves.fit(eval);
 
-  auto replicas = replicate_staged_model(
-      model, [cfg] { return nn::build_staged_resnet(cfg); }, 1);
+  auto replicas = replicate_staged_model(model, 1);
   LiveConfig live_cfg;
   live_cfg.early_exit_confidence = 0.4;  // 4 classes: chance level is 0.25
   const auto results = run_live(replicas, curves, batch.samples, live_cfg);
@@ -465,13 +463,7 @@ TEST(LiveScheduler, ReplicasShareWeights) {
   cfg.stage_channels = {4, 6, 8};
   cfg.seed = 77;
   nn::StagedModel source = nn::build_staged_resnet(cfg);
-  auto replicas = replicate_staged_model(
-      source, [cfg]() mutable {
-        nn::StagedResNetConfig c = cfg;
-        c.seed = 123;  // replica init differs; weights must be copied
-        return nn::build_staged_resnet(c);
-      },
-      3);
+  auto replicas = replicate_staged_model(source, 3);
   Rng rng(10);
   const tensor::Tensor input = tensor::Tensor::randn({2, 8, 8}, rng);
   const auto expected = source.forward_all(input);

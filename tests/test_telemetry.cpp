@@ -84,8 +84,7 @@ std::vector<tensor::Tensor> make_inputs(std::size_t n, std::uint64_t seed = 3) {
 
 std::vector<std::unique_ptr<nn::StagedModel>> make_replicas(std::size_t workers) {
   nn::StagedModel model = nn::build_staged_resnet(tiny_model_config());
-  return sched::replicate_staged_model(
-      model, [] { return nn::build_staged_resnet(tiny_model_config()); }, workers);
+  return sched::replicate_staged_model(model, workers);
 }
 
 struct ServerHarness {
