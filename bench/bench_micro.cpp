@@ -21,6 +21,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/trace.hpp"
 #include "gp/confidence_curve.hpp"
+#include "nn/arena.hpp"
 #include "nn/serialize.hpp"
 #include "nn/staged_model.hpp"
 #include "sched/live.hpp"
@@ -43,6 +44,37 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
 
+// The raw GEMM core at a forced ISA arm (DESIGN.md §14): gemm_with_isa with
+// a caller-owned workspace — the exact call arena-backed inference makes.
+// The scalar/avx2 row pair is the per-machine SIMD speedup; the scalar row
+// vs the old BM_Matmul baseline is what tiling + packing alone bought.
+void BM_GemmKernel(benchmark::State& state) {
+  const auto isa = static_cast<tensor::GemmIsa>(state.range(0));
+  if (!tensor::gemm_isa_available(isa)) {
+    state.SkipWithError("isa not available on this machine");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(12);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  std::vector<float> workspace(tensor::gemm_workspace_floats(n, n, n));
+  for (auto _ : state) {
+    tensor::gemm_with_isa(isa, n, n, n, a.raw(), n, false, b.raw(), n, false,
+                          0.0f, c.raw(), n, workspace.data());
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetLabel(tensor::gemm_isa_name(isa));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmKernel)
+    ->Args({0, 128})
+    ->Args({0, 256})
+    ->Args({1, 128})
+    ->Args({1, 256})
+    ->ArgNames({"isa", "n"});
+
 void BM_Conv2dIm2col(benchmark::State& state) {
   const std::size_t c = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
@@ -58,6 +90,27 @@ void BM_Conv2dIm2col(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::size_t>(g.flops()));
 }
 BENCHMARK(BM_Conv2dIm2col)->Arg(8)->Arg(16)->Arg(32);
+
+// The zero-alloc patch unroll feeding every conv GEMM: im2col into caller
+// storage. Pure memory traffic — the bytes/s counter is the number to watch.
+void BM_Im2colInto(benchmark::State& state) {
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  tensor::Conv2dGeometry g;
+  g.in_channels = c;
+  g.out_channels = c;
+  g.in_height = 16;
+  g.in_width = 16;
+  const tensor::Tensor img = tensor::Tensor::randn({c, 16, 16}, rng);
+  std::vector<float> cols(c * 9 * g.out_height() * g.out_width());
+  for (auto _ : state) {
+    tensor::im2col_into(img, g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * cols.size() * sizeof(float)));
+}
+BENCHMARK(BM_Im2colInto)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_StagedForward(benchmark::State& state) {
   nn::StagedResNetConfig cfg;
@@ -76,6 +129,39 @@ void BM_StagedFirstStageOnly(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(model.run_stage(0, input));
 }
 BENCHMARK(BM_StagedFirstStageOnly);
+
+// All stages of the quickstart resnet run batched through a scratch arena:
+// one wide GEMM per layer across the whole batch (DESIGN.md §14). items/s is
+// per-sample throughput — compare against BM_StagedForward's iteration time
+// to read off the amortization win; batch=1 prices the batching machinery
+// itself. Storage lives outside the loop, so steady state allocates nothing.
+void BM_StagedForwardBatched(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  nn::StagedResNetConfig cfg;
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  Rng rng(14);
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t b = 0; b < batch; ++b)
+    inputs.push_back(tensor::Tensor::randn({3, 16, 16}, rng));
+  nn::ScratchArena arena;
+  // Ping-pong item buffers: stage s reads features written by stage s-1, so
+  // it cannot write into the same items it is reading from.
+  std::vector<nn::StageBatchItem> even(batch), odd(batch);
+  std::vector<const tensor::Tensor*> ptrs(batch);
+  for (auto _ : state) {
+    arena.reset();
+    for (std::size_t b = 0; b < batch; ++b) ptrs[b] = &inputs[b];
+    for (std::size_t s = 0; s < model.num_stages(); ++s) {
+      auto& items = (s % 2 == 0) ? even : odd;
+      model.run_stage_batch(s, ptrs, items, arena);
+      for (std::size_t b = 0; b < batch; ++b) ptrs[b] = &items[b].features;
+    }
+    benchmark::DoNotOptimize(even.data());
+    benchmark::DoNotOptimize(odd.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_StagedForwardBatched)->Arg(1)->Arg(8)->Arg(32)->ArgName("batch");
 
 gp::ConfidenceCurveModel make_curves() {
   calib::StagedEvaluation eval;

@@ -1,16 +1,19 @@
 // Layer abstraction for the Eugene neural-network stack.
 //
-// Layers process one sample at a time (tiny paper-scale inputs make
-// per-sample processing simple and fast enough); minibatch SGD accumulates
+// Training processes one sample at a time; minibatch SGD accumulates
 // parameter gradients across samples before each optimizer step. Each layer
-// caches what it needs from the last forward() so backward() can run without
-// re-deriving activations.
+// caches what it needs from the last forward(training=true) so backward()
+// can run without re-deriving activations. Inference additionally has a
+// batched path — forward_batch over a feature-major BatchedView with arena-
+// backed scratch — that amortizes one wide GEMM across a request batch and
+// allocates nothing once warmed up (DESIGN.md §14).
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/arena.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eugene::nn {
@@ -32,8 +35,38 @@ class Layer {
   virtual tensor::Tensor forward(const tensor::Tensor& input, bool training) = 0;
 
   /// Propagates the loss gradient from output to input, accumulating
-  /// parameter gradients. Must follow a forward() on the same sample.
+  /// parameter gradients. Must follow a forward(training=true) on the same
+  /// sample — inference-mode forwards skip writing the activation caches
+  /// this reads.
   virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Inference-only forward over a feature-major batch (see BatchedView).
+  /// Output storage comes from `arena`; the input view stays valid (layers
+  /// never write through their input). Compute layers override this with a
+  /// batched kernel (one wide GEMM instead of B narrow ones); the default
+  /// falls back to per-sample forward(), which allocates — correct for any
+  /// layer, but excluded from the zero-allocation steady-state guarantee.
+  /// Numerics contract: overrides must make column b of the output bitwise
+  /// equal to forward() of sample b (the GEMM core's accumulation order
+  /// depends only on k, which makes this achievable — DESIGN.md §14).
+  virtual BatchedView forward_batch(const BatchedView& input,
+                                    ScratchArena& arena) {
+    EUGENE_REQUIRE(input.batch >= 1, "forward_batch: empty batch");
+    tensor::Tensor first = forward(unpack_sample(input, 0), /*training=*/false);
+    EUGENE_REQUIRE(first.rank() >= 1 && first.rank() <= BatchedView::kMaxRank,
+                   "forward_batch: output rank outside [1, 4]");
+    BatchedView out = BatchedView::make(
+        std::span<const std::size_t>(first.shape().data(), first.rank()),
+        input.batch, arena);
+    scatter_sample(out, 0, first);
+    for (std::size_t b = 1; b < input.batch; ++b) {
+      tensor::Tensor y = forward(unpack_sample(input, b), /*training=*/false);
+      EUGENE_REQUIRE(y.same_shape(first),
+                     "forward_batch: output shapes diverge across the batch");
+      scatter_sample(out, b, y);
+    }
+    return out;
+  }
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
@@ -86,6 +119,13 @@ class Sequential final : public Layer {
     tensor::Tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
     return g;
+  }
+
+  BatchedView forward_batch(const BatchedView& input,
+                            ScratchArena& arena) override {
+    BatchedView x = input;
+    for (auto& layer : layers_) x = layer->forward_batch(x, arena);
+    return x;
   }
 
   std::vector<ParamRef> params() override {

@@ -1,10 +1,31 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/gemm.hpp"
 
 namespace eugene::nn {
 
 using tensor::Tensor;
+
+namespace {
+
+// Packing scratch for the legacy per-sample wrappers (the batched path
+// takes its scratch from the caller's arena instead).
+float* tl_scratch(std::size_t floats) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < floats) buf.resize(floats);
+  return buf.data();
+}
+
+BatchedView same_dims_view(const BatchedView& input, ScratchArena& arena) {
+  return BatchedView::make(
+      std::span<const std::size_t>(input.dims, input.rank), input.batch, arena);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Conv2d
 
@@ -22,16 +43,136 @@ Conv2d::Conv2d(tensor::Conv2dGeometry geometry, Rng& rng)
   weights_ = Tensor::randn(weights_.shape(), rng, stddev);
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
-  cached_cols_ = tensor::im2col(input, geometry_);
-  Tensor out = tensor::matmul(weights_, cached_cols_);
+Tensor Conv2d::forward(const Tensor& input, bool training) {
   const std::size_t ohw = geometry_.out_height() * geometry_.out_width();
+  const std::size_t patch =
+      geometry_.in_channels * geometry_.kernel * geometry_.kernel;
+  // Backward needs the unrolled columns; inference-only forwards skip the
+  // persistent cache and unroll into reusable thread-local scratch instead.
+  const float* cols = nullptr;
+  float* ws = nullptr;
+  if (training) {
+    cached_cols_ = tensor::im2col(input, geometry_);
+    cols = cached_cols_.raw();
+  } else {
+    const std::size_t ws_floats =
+        tensor::gemm_workspace_floats(geometry_.out_channels, ohw, patch);
+    float* scratch = tl_scratch(patch * ohw + ws_floats);
+    tensor::im2col_into(input, geometry_, scratch);
+    cols = scratch;
+    ws = scratch + patch * ohw;
+  }
+  Tensor out({geometry_.out_channels, geometry_.out_height(), geometry_.out_width()});
+  tensor::gemm(geometry_.out_channels, ohw, patch, weights_.raw(), patch,
+               /*trans_a=*/false, cols, ohw, /*trans_b=*/false, /*beta=*/0.0f,
+               out.raw(), ohw, ws);
   float* op = out.raw();
+  const float* bb = bias_.raw();
   for (std::size_t oc = 0; oc < geometry_.out_channels; ++oc) {
-    const float b = bias_.at(oc);
+    const float b = bb[oc];
     for (std::size_t i = 0; i < ohw; ++i) op[oc * ohw + i] += b;
   }
-  return out.reshaped({geometry_.out_channels, geometry_.out_height(), geometry_.out_width()});
+  return out;
+}
+
+BatchedView Conv2d::forward_batch(const BatchedView& input, ScratchArena& arena) {
+  EUGENE_REQUIRE(input.rank == 3 && input.dims[0] == geometry_.in_channels &&
+                     input.dims[1] == geometry_.in_height &&
+                     input.dims[2] == geometry_.in_width,
+                 "Conv2d::forward_batch: geometry mismatch");
+  const std::size_t batch = input.batch;
+  const std::size_t hw = geometry_.in_height * geometry_.in_width;
+  const std::size_t ohw = geometry_.out_height() * geometry_.out_width();
+  const std::size_t patch =
+      geometry_.in_channels * geometry_.kernel * geometry_.kernel;
+  const std::size_t n = batch * ohw;
+  const std::size_t out_dims[3] = {geometry_.out_channels, geometry_.out_height(),
+                                   geometry_.out_width()};
+  if (geometry_.stride == 1 && geometry_.out_width() >= 8 &&
+      geometry_.out_channels <= tensor::gemm_rows_max_m()) {
+    // Implicit im2col: embed each input plane in a zero-padded frame, then
+    // hand gemm_rows one B-row pointer per (c, ky, kx) — the row is just
+    // the padded channel shifted by (ky, kx). Column index j of that
+    // implicit B walks the padded frames linearly (width pw, not ow), so
+    // the GEMM computes a padded-width output whose fringe columns/rows are
+    // discarded by the compaction below. Same kernel chain as im2col +
+    // gemm, so the activations are bitwise-identical — only the big
+    // [patch, B·OHW] column materialization disappears.
+    const std::size_t kh = geometry_.kernel;
+    const std::size_t pad = geometry_.padding;
+    const std::size_t ih = geometry_.in_height;
+    const std::size_t iw = geometry_.in_width;
+    const std::size_t oh = geometry_.out_height();
+    const std::size_t ow = geometry_.out_width();
+    const std::size_t ph = ih + 2 * pad;
+    const std::size_t pw = iw + 2 * pad;
+    const std::size_t plane = ph * pw;
+    const std::size_t np = batch * plane;  // padded buffer floats per channel
+    // The GEMM only needs columns up to the last valid output element of the
+    // last sample — everything past (oh−1)·pw + ow in a plane is fringe.
+    const std::size_t ng = (batch - 1) * plane + (oh - 1) * pw + ow;
+    // The last B row's window extends (kh−1)·pw + kh − 1 floats past the
+    // buffer; the guard keeps those (discarded-output) reads in bounds.
+    const std::size_t guard = (kh - 1) * pw + kh - 1;
+    float* padbuf = arena.alloc(geometry_.in_channels * np + guard);
+    for (std::size_t g = 0; g < guard; ++g)
+      padbuf[geometry_.in_channels * np + g] = 0.0f;
+    for (std::size_t c = 0; c < geometry_.in_channels; ++c) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        float* dst = padbuf + c * np + b * plane;
+        const float* src = input.data + c * batch * hw + b * hw;
+        std::fill_n(dst, pad * pw, 0.0f);
+        for (std::size_t iy = 0; iy < ih; ++iy) {
+          float* row = dst + (pad + iy) * pw;
+          for (std::size_t x = 0; x < pad; ++x) row[x] = 0.0f;
+          std::memcpy(row + pad, src + iy * iw, iw * sizeof(float));
+          for (std::size_t x = pad + iw; x < pw; ++x) row[x] = 0.0f;
+        }
+        std::fill_n(dst + (pad + ih) * pw, pad * pw, 0.0f);
+      }
+    }
+    const float** brows = arena.alloc_ptrs(patch);
+    std::size_t p = 0;
+    for (std::size_t c = 0; c < geometry_.in_channels; ++c)
+      for (std::size_t ky = 0; ky < kh; ++ky)
+        for (std::size_t kx = 0; kx < kh; ++kx)
+          brows[p++] = padbuf + c * np + ky * pw + kx;
+    float* cbuf = arena.alloc(geometry_.out_channels * ng);
+    tensor::gemm_rows(geometry_.out_channels, ng, patch, weights_.raw(),
+                      patch, brows, /*beta=*/0.0f, cbuf, ng);
+    BatchedView out = BatchedView::make({out_dims, 3}, batch, arena);
+    const float* bb = bias_.raw();
+    for (std::size_t oc = 0; oc < geometry_.out_channels; ++oc) {
+      const float bias = bb[oc];
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const float* src = cbuf + oc * ng + b * plane + oy * pw;
+          float* dst = out.data + oc * n + b * ohw + oy * ow;
+          for (std::size_t x = 0; x < ow; ++x) dst[x] = src[x] + bias;
+        }
+      }
+    }
+    return out;
+  }
+  // One wide column matrix [patch, B·OHW]: sample b's columns start at
+  // b·OHW, so GEMM output row oc is exactly the batched (oc, b) plane run.
+  float* cols = arena.alloc(patch * n);
+  for (std::size_t b = 0; b < batch; ++b)
+    tensor::im2col_strided_into(input.data + b * hw, batch * hw, geometry_,
+                                cols, n, b * ohw);
+  BatchedView out = BatchedView::make({out_dims, 3}, batch, arena);
+  float* ws = arena.alloc(
+      tensor::gemm_workspace_floats(geometry_.out_channels, n, patch));
+  tensor::gemm(geometry_.out_channels, n, patch, weights_.raw(), patch,
+               /*trans_a=*/false, cols, n, /*trans_b=*/false, /*beta=*/0.0f,
+               out.data, n, ws);
+  const float* bb = bias_.raw();
+  for (std::size_t oc = 0; oc < geometry_.out_channels; ++oc) {
+    const float b = bb[oc];
+    float* row = out.data + oc * n;
+    for (std::size_t i = 0; i < n; ++i) row[i] += b;
+  }
+  return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -73,17 +214,39 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
   weights_ = Tensor::randn(weights_.shape(), rng, stddev);
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+Tensor Dense::forward(const Tensor& input, bool training) {
   EUGENE_REQUIRE(input.numel() == in_features_, "Dense::forward: input size mismatch");
-  cached_input_ = input.reshaped({in_features_});
+  if (training) cached_input_ = input.reshaped({in_features_});
   Tensor out({out_features_});
-  const float* w = weights_.raw();
-  const float* x = cached_input_.raw();
+  // Routed through the GEMM core (n = 1) with the bias added after the sum,
+  // so a per-sample forward is bitwise-identical to the corresponding column
+  // of forward_batch (see Layer::forward_batch's numerics contract).
+  tensor::gemm(out_features_, 1, in_features_, weights_.raw(), in_features_,
+               /*trans_a=*/false, input.raw(), 1, /*trans_b=*/false,
+               /*beta=*/0.0f, out.raw(), 1,
+               tl_scratch(tensor::gemm_workspace_floats(out_features_, 1,
+                                                        in_features_)));
+  float* o = out.raw();
+  const float* bb = bias_.raw();
+  for (std::size_t i = 0; i < out_features_; ++i) o[i] += bb[i];
+  return out;
+}
+
+BatchedView Dense::forward_batch(const BatchedView& input, ScratchArena& arena) {
+  EUGENE_REQUIRE(input.rank == 1 && input.dims[0] == in_features_,
+                 "Dense::forward_batch: input size mismatch");
+  const std::size_t batch = input.batch;
+  BatchedView out = BatchedView::make({&out_features_, 1}, batch, arena);
+  float* ws = arena.alloc(
+      tensor::gemm_workspace_floats(out_features_, batch, in_features_));
+  tensor::gemm(out_features_, batch, in_features_, weights_.raw(), in_features_,
+               /*trans_a=*/false, input.data, batch, /*trans_b=*/false,
+               /*beta=*/0.0f, out.data, batch, ws);
+  const float* bb = bias_.raw();
   for (std::size_t o = 0; o < out_features_; ++o) {
-    float acc = bias_.at(o);
-    const float* wrow = w + o * in_features_;
-    for (std::size_t i = 0; i < in_features_; ++i) acc += wrow[i] * x[i];
-    out.at(o) = acc;
+    const float b = bb[o];
+    float* row = out.data + o * batch;
+    for (std::size_t i = 0; i < batch; ++i) row[i] += b;
   }
   return out;
 }
@@ -118,17 +281,31 @@ std::string Dense::name() const {
 
 // ------------------------------------------------------------------ ReLU
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-  mask_ = Tensor(input.shape());
+Tensor ReLU::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   const float* x = input.raw();
-  float* m = mask_.raw();
   float* o = out.raw();
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const bool positive = x[i] > 0.0f;
-    m[i] = positive ? 1.0f : 0.0f;
-    o[i] = positive ? x[i] : 0.0f;
+  if (training) {
+    mask_ = Tensor(input.shape());
+    float* m = mask_.raw();
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      const bool positive = x[i] > 0.0f;
+      m[i] = positive ? 1.0f : 0.0f;
+      o[i] = positive ? x[i] : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < input.numel(); ++i)
+      o[i] = x[i] > 0.0f ? x[i] : 0.0f;
   }
+  return out;
+}
+
+BatchedView ReLU::forward_batch(const BatchedView& input, ScratchArena& arena) {
+  BatchedView out = same_dims_view(input, arena);
+  const float* x = input.data;
+  float* o = out.data;
+  const std::size_t n = input.total_numel();
+  for (std::size_t i = 0; i < n; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
   return out;
 }
 
@@ -154,31 +331,86 @@ ChannelNorm::ChannelNorm(std::size_t channels, float epsilon)
   EUGENE_REQUIRE(channels > 0, "ChannelNorm: zero channels");
 }
 
-Tensor ChannelNorm::forward(const Tensor& input, bool /*training*/) {
+namespace {
+
+// Shared per-plane normalization core: both the per-sample and the batched
+// path must round identically (double mean/var, float xhat) for batched
+// inference to stay bitwise-equal to per-sample inference.
+void channel_norm_plane(const float* xc, std::size_t hw, float epsilon, float g,
+                        float b, float* out, float* xhat_out, float* inv_std_out) {
+  // Eight fixed-order accumulator lanes: a single running double sum is a
+  // serial 4-cycle add chain (≈ hw·4 cycles per pass); lanes overlap the
+  // adds and vectorize. The lane count and combine order are fixed, so the
+  // result is deterministic and shared verbatim by the per-sample and
+  // batched paths (their bitwise equality only needs this function to be
+  // one function).
+  double lane[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= hw; i += 8)
+    for (std::size_t l = 0; l < 8; ++l) lane[l] += xc[i + l];
+  for (; i < hw; ++i) lane[i % 8] += xc[i];
+  double mean = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  mean /= static_cast<double>(hw);
+  for (std::size_t l = 0; l < 8; ++l) lane[l] = 0.0;
+  i = 0;
+  for (; i + 8 <= hw; i += 8)
+    for (std::size_t l = 0; l < 8; ++l) {
+      const double d = xc[i + l] - mean;
+      lane[l] += d * d;
+    }
+  for (; i < hw; ++i) {
+    const double d = xc[i] - mean;
+    lane[i % 8] += d * d;
+  }
+  double var = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  var /= static_cast<double>(hw);
+  const float inv_std = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+  if (inv_std_out != nullptr) *inv_std_out = inv_std;
+  for (std::size_t i = 0; i < hw; ++i) {
+    const float xhat = (xc[i] - static_cast<float>(mean)) * inv_std;
+    if (xhat_out != nullptr) xhat_out[i] = xhat;
+    out[i] = g * xhat + b;
+  }
+}
+
+}  // namespace
+
+Tensor ChannelNorm::forward(const Tensor& input, bool training) {
   EUGENE_REQUIRE(input.rank() == 3 && input.dim(0) == channels_,
                  "ChannelNorm::forward: expected CHW with matching channels");
   const std::size_t hw = input.dim(1) * input.dim(2);
-  cached_xhat_ = Tensor(input.shape());
-  cached_inv_std_.assign(channels_, 0.0f);
   Tensor out(input.shape());
   const float* x = input.raw();
-  float* xh = cached_xhat_.raw();
   float* o = out.raw();
+  float* xh = nullptr;
+  if (training) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(channels_, 0.0f);
+    xh = cached_xhat_.raw();
+  }
   for (std::size_t c = 0; c < channels_; ++c) {
-    const float* xc = x + c * hw;
-    double mean = 0.0;
-    for (std::size_t i = 0; i < hw; ++i) mean += xc[i];
-    mean /= static_cast<double>(hw);
-    double var = 0.0;
-    for (std::size_t i = 0; i < hw; ++i) var += (xc[i] - mean) * (xc[i] - mean);
-    var /= static_cast<double>(hw);
-    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
-    cached_inv_std_[c] = inv_std;
+    channel_norm_plane(x + c * hw, hw, epsilon_, gain_.at(c), bias_.at(c),
+                       o + c * hw, xh != nullptr ? xh + c * hw : nullptr,
+                       training ? &cached_inv_std_[c] : nullptr);
+  }
+  return out;
+}
+
+BatchedView ChannelNorm::forward_batch(const BatchedView& input,
+                                       ScratchArena& arena) {
+  EUGENE_REQUIRE(input.rank == 3 && input.dims[0] == channels_,
+                 "ChannelNorm::forward_batch: expected CHW with matching channels");
+  const std::size_t hw = input.dims[1] * input.dims[2];
+  const std::size_t batch = input.batch;
+  BatchedView out = same_dims_view(input, arena);
+  for (std::size_t c = 0; c < channels_; ++c) {
     const float g = gain_.at(c), b = bias_.at(c);
-    for (std::size_t i = 0; i < hw; ++i) {
-      const float xhat = (xc[i] - static_cast<float>(mean)) * inv_std;
-      xh[c * hw + i] = xhat;
-      o[c * hw + i] = g * xhat + b;
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const std::size_t off = (c * batch + bi) * hw;
+      channel_norm_plane(input.data + off, hw, epsilon_, g, b, out.data + off,
+                         nullptr, nullptr);
     }
   }
   return out;
@@ -257,9 +489,27 @@ std::string Dropout::name() const {
 
 // --------------------------------------------------------------- Flatten
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
-  cached_shape_ = input.shape();
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (training) cached_shape_ = input.shape();
   return input.reshaped({input.numel()});
+}
+
+BatchedView Flatten::forward_batch(const BatchedView& input, ScratchArena& arena) {
+  if (input.rank == 1) return input;  // already flat; identical layout
+  // Feature-major flattening is a real transpose: element (i0, r) of sample b
+  // moves from (i0·B + b)·rest + r to (i0·rest + r)·B + b.
+  const std::size_t flat = input.sample_numel();
+  const std::size_t batch = input.batch;
+  const std::size_t rest = input.rest_numel();
+  BatchedView out = BatchedView::make({&flat, 1}, batch, arena);
+  for (std::size_t i0 = 0; i0 < input.dims[0]; ++i0) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = input.data + (i0 * batch + b) * rest;
+      for (std::size_t r = 0; r < rest; ++r)
+        out.data[(i0 * rest + r) * batch + b] = src[r];
+    }
+  }
+  return out;
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {
@@ -268,9 +518,29 @@ Tensor Flatten::backward(const Tensor& grad_output) {
 
 // --------------------------------------------------------- GlobalAvgPool
 
-Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
-  cached_shape_ = input.shape();
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  if (training) cached_shape_ = input.shape();
   return tensor::global_avg_pool(input);
+}
+
+BatchedView GlobalAvgPool::forward_batch(const BatchedView& input,
+                                         ScratchArena& arena) {
+  EUGENE_REQUIRE(input.rank == 3, "GlobalAvgPool::forward_batch: expected CHW");
+  const std::size_t c = input.dims[0];
+  const std::size_t hw = input.dims[1] * input.dims[2];
+  EUGENE_REQUIRE(hw > 0, "GlobalAvgPool::forward_batch: empty image plane");
+  const std::size_t batch = input.batch;
+  BatchedView out = BatchedView::make({&c, 1}, batch, arena);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* plane = input.data + (ch * batch + b) * hw;
+      // float accumulator, matching tensor::global_avg_pool bit for bit
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      out.data[ch * batch + b] = acc / static_cast<float>(hw);
+    }
+  }
+  return out;
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
@@ -289,14 +559,16 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
 
 // -------------------------------------------------------------- MaxPool2
 
-Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
+Tensor MaxPool2::forward(const Tensor& input, bool training) {
   EUGENE_REQUIRE(input.rank() == 3, "MaxPool2: expected CHW image");
-  cached_in_shape_ = input.shape();
   const std::size_t c = input.dim(0);
   const std::size_t oh = input.dim(1) / 2, ow = input.dim(2) / 2;
   EUGENE_REQUIRE(oh > 0 && ow > 0, "MaxPool2: image too small");
   Tensor out({c, oh, ow});
-  argmax_.assign(c * oh * ow, 0);
+  if (training) {
+    cached_in_shape_ = input.shape();
+    argmax_.assign(c * oh * ow, 0);
+  }
   const std::size_t ih = input.dim(1), iw = input.dim(2);
   const float* x = input.raw();
   for (std::size_t ch = 0; ch < c; ++ch) {
@@ -309,7 +581,36 @@ Tensor MaxPool2::forward(const Tensor& input, bool /*training*/) {
             if (x[idx] > x[best]) best = idx;
           }
         out.at(ch, y, xo) = x[best];
-        argmax_[(ch * oh + y) * ow + xo] = best;
+        if (training) argmax_[(ch * oh + y) * ow + xo] = best;
+      }
+    }
+  }
+  return out;
+}
+
+BatchedView MaxPool2::forward_batch(const BatchedView& input, ScratchArena& arena) {
+  EUGENE_REQUIRE(input.rank == 3, "MaxPool2::forward_batch: expected CHW image");
+  const std::size_t c = input.dims[0];
+  const std::size_t ih = input.dims[1], iw = input.dims[2];
+  const std::size_t oh = ih / 2, ow = iw / 2;
+  EUGENE_REQUIRE(oh > 0 && ow > 0, "MaxPool2::forward_batch: image too small");
+  const std::size_t batch = input.batch;
+  const std::size_t out_dims[3] = {c, oh, ow};
+  BatchedView out = BatchedView::make({out_dims, 3}, batch, arena);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* x = input.data + (ch * batch + b) * ih * iw;
+      float* o = out.data + (ch * batch + b) * oh * ow;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t xo = 0; xo < ow; ++xo) {
+          std::size_t best = (2 * y) * iw + 2 * xo;
+          for (std::size_t dy = 0; dy < 2; ++dy)
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx = (2 * y + dy) * iw + (2 * xo + dx);
+              if (x[idx] > x[best]) best = idx;
+            }
+          o[y * ow + xo] = x[best];
+        }
       }
     }
   }

@@ -16,6 +16,7 @@ class Conv2d final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::vector<ParamRef> params() override;
   double flops() const override { return geometry_.flops(); }
   std::string name() const override;
@@ -41,6 +42,7 @@ class Dense final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::vector<ParamRef> params() override;
   double flops() const override {
     return 2.0 * static_cast<double>(in_features_) * static_cast<double>(out_features_);
@@ -68,6 +70,7 @@ class ReLU final : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::string name() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override;
 
@@ -86,6 +89,7 @@ class ChannelNorm final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::vector<ParamRef> params() override;
   std::string name() const override { return "channel_norm(" + std::to_string(channels_) + ")"; }
   std::unique_ptr<Layer> clone() const override;
@@ -110,6 +114,10 @@ class Dropout final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  /// Batched inference is always training=false, so dropout is the identity.
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& /*arena*/) override {
+    return input;
+  }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -129,6 +137,7 @@ class Flatten final : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::string name() const override { return "flatten"; }
   std::unique_ptr<Layer> clone() const override;
 
@@ -141,6 +150,7 @@ class GlobalAvgPool final : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::string name() const override { return "global_avg_pool"; }
   std::unique_ptr<Layer> clone() const override;
 
@@ -153,6 +163,7 @@ class MaxPool2 final : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::string name() const override { return "max_pool2"; }
   std::unique_ptr<Layer> clone() const override;
 

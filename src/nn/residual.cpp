@@ -27,12 +27,31 @@ Tensor ResidualBlock::forward(const Tensor& input, bool training) {
   f = relu1_->forward(f, training);
   f = norm2_->forward(conv2_->forward(f, training), training);
   f += input;  // identity shortcut
-  pre_activation_ = f;
-  Tensor out(f.shape());
-  const float* p = f.raw();
-  float* o = out.raw();
-  for (std::size_t i = 0; i < f.numel(); ++i) o[i] = p[i] > 0.0f ? p[i] : 0.0f;
-  return out;
+  if (training) pre_activation_ = f;
+  // Final ReLU applied in place: `f` is this block's own intermediate.
+  float* p = f.raw();
+  for (std::size_t i = 0; i < f.numel(); ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return f;
+}
+
+BatchedView ResidualBlock::forward_batch(const BatchedView& input,
+                                         ScratchArena& arena) {
+  BatchedView f = conv1_->forward_batch(input, arena);
+  f = norm1_->forward_batch(f, arena);
+  f = relu1_->forward_batch(f, arena);
+  f = conv2_->forward_batch(f, arena);
+  f = norm2_->forward_batch(f, arena);
+  EUGENE_REQUIRE(f.total_numel() == input.total_numel(),
+                 "ResidualBlock::forward_batch: shape drift through the block");
+  // Shortcut add + final ReLU fused in place over norm2's arena output.
+  float* p = f.data;
+  const float* x = input.data;
+  const std::size_t n = f.total_numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = p[i] + x[i];
+    p[i] = v > 0.0f ? v : 0.0f;
+  }
+  return f;
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_output) {

@@ -17,6 +17,7 @@ class ResidualBlock final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  BatchedView forward_batch(const BatchedView& input, ScratchArena& arena) override;
   std::vector<ParamRef> params() override;
   double flops() const override;
   std::string name() const override;

@@ -1,5 +1,8 @@
 #include "nn/staged_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "nn/residual.hpp"
@@ -26,9 +29,82 @@ StageOutput StagedModel::make_output(Tensor features, const Tensor& logits) cons
 
 StageOutput StagedModel::run_stage(std::size_t s, const Tensor& input, bool training) {
   EUGENE_REQUIRE(s < stages_.size(), "run_stage: stage index out of range");
+  if (!training && input.rank() >= 1 && input.rank() <= BatchedView::kMaxRank) {
+    // Inference is the batched path at B = 1 (bitwise-identical by the
+    // Layer::forward_batch contract): layer scratch comes from a warmed
+    // thread-local arena instead of a fresh heap Tensor per layer. A batch
+    // of one needs no packing — feature-major at B = 1 is exactly the
+    // sample's own layout — so the input is viewed in place; forward_batch
+    // implementations never write their input view.
+    thread_local ScratchArena arena;
+    arena.reset();
+    BatchedView in;
+    in.rank = input.rank();
+    for (std::size_t d = 0; d < in.rank; ++d) in.dims[d] = input.dim(d);
+    in.batch = 1;
+    in.data = const_cast<float*>(input.raw());
+    BatchedView feat = stages_[s].trunk->forward_batch(in, arena);
+    const BatchedView logits = stages_[s].head->forward_batch(feat, arena);
+    EUGENE_CHECK_EQ(logits.sample_numel(), num_classes_)
+        << "head produced wrong logit count";
+    Tensor logit_t(tensor::Shape{num_classes_});
+    for (std::size_t c = 0; c < num_classes_; ++c) logit_t.raw()[c] = logits.data[c];
+    return make_output(unpack_sample(feat, 0), logit_t);
+  }
   Tensor features = stages_[s].trunk->forward(input, training);
   const Tensor logits = stages_[s].head->forward(features, training);
   return make_output(std::move(features), logits);
+}
+
+void StagedModel::run_stage_batch(std::size_t s,
+                                  std::span<const Tensor* const> inputs,
+                                  std::span<StageBatchItem> items,
+                                  ScratchArena& arena) {
+  EUGENE_REQUIRE(s < stages_.size(), "run_stage_batch: stage index out of range");
+  EUGENE_REQUIRE(!inputs.empty() && inputs.size() == items.size(),
+                 "run_stage_batch: inputs/items size mismatch");
+  const std::size_t batch = inputs.size();
+  const BatchedView in = pack_batch(inputs, arena);
+  BatchedView feat = stages_[s].trunk->forward_batch(in, arena);
+  const BatchedView logits = stages_[s].head->forward_batch(feat, arena);
+  EUGENE_CHECK_EQ(logits.sample_numel(), num_classes_)
+      << "head produced wrong logit count";
+  const std::size_t feat_rest = feat.rest_numel();
+  for (std::size_t b = 0; b < batch; ++b) {
+    StageBatchItem& item = items[b];
+    // Reuse the item's feature storage when the shape repeats (the heap-free
+    // steady state); reshape only on first use or model change.
+    bool shape_ok = item.features.rank() == feat.rank;
+    for (std::size_t d = 0; shape_ok && d < feat.rank; ++d)
+      shape_ok = item.features.dim(d) == feat.dims[d];
+    if (!shape_ok)
+      item.features = Tensor(tensor::Shape(feat.dims, feat.dims + feat.rank));
+    float* dst = item.features.raw();
+    for (std::size_t i0 = 0; i0 < feat.dims[0]; ++i0) {
+      const float* src = feat.data + (i0 * batch + b) * feat_rest;
+      float* d = dst + i0 * feat_rest;
+      for (std::size_t r = 0; r < feat_rest; ++r) d[r] = src[r];
+    }
+    // Head readout replicating common/stats.hpp softmax+argmax bit for bit
+    // over the strided logit column: float exps, double sum, strict-greater
+    // first-tie argmax.
+    const float* ld = logits.data;
+    float max_logit = ld[b];
+    for (std::size_t c = 0; c < num_classes_; ++c)
+      max_logit = std::max(max_logit, ld[c * batch + b]);
+    item.probs.resize(num_classes_);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      item.probs[c] = std::exp(ld[c * batch + b] - max_logit);
+      sum += item.probs[c];
+    }
+    for (float& v : item.probs) v = static_cast<float>(v / sum);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c)
+      if (item.probs[c] > item.probs[best]) best = c;
+    item.predicted_label = best;
+    item.confidence = item.probs[best];
+  }
 }
 
 std::vector<StageOutput> StagedModel::forward_all(const Tensor& input, bool training) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -22,6 +23,16 @@ struct StageOutput {
   std::vector<float> probs;         ///< softmax distribution over classes
   std::size_t predicted_label = 0;  ///< argmax of probs
   float confidence = 0.0f;          ///< max of probs (paper's "classification confidence")
+};
+
+/// One sample's slot in a batched stage run. Reused across calls: features
+/// and probs keep their storage when shapes repeat, which is what lets a
+/// warmed-up run_stage_batch run without heap allocations.
+struct StageBatchItem {
+  tensor::Tensor features;          ///< trunk output, input to the next stage
+  std::vector<float> probs;         ///< softmax distribution over classes
+  std::size_t predicted_label = 0;  ///< argmax of probs
+  float confidence = 0.0f;          ///< max of probs
 };
 
 /// Multi-exit network: trunks chained feature-to-feature, one softmax head
@@ -42,6 +53,16 @@ class StagedModel {
   /// Runs trunk `s` then its head on `input` (the previous stage's features,
   /// or the raw sample for stage 0).
   StageOutput run_stage(std::size_t s, const tensor::Tensor& input, bool training = false);
+
+  /// Batched (inference-only) run_stage: packs `inputs` into one feature-
+  /// major batch, runs trunk `s` and its head once over the whole batch (one
+  /// wide GEMM per compute layer), and fills `items` — items[b] corresponds
+  /// to inputs[b] and is bitwise-identical to run_stage(s, *inputs[b]).
+  /// Scratch comes from `arena`; the caller owns the arena's reset cadence
+  /// (typically once per request batch). Sizes must match; all inputs must
+  /// share one shape.
+  void run_stage_batch(std::size_t s, std::span<const tensor::Tensor* const> inputs,
+                       std::span<StageBatchItem> items, ScratchArena& arena);
 
   /// Runs every stage in order, returning all per-stage outputs.
   std::vector<StageOutput> forward_all(const tensor::Tensor& input, bool training = false);

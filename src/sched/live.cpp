@@ -31,24 +31,28 @@ std::vector<std::unique_ptr<nn::StagedModel>> replicate_staged_model(
 
 namespace {
 
-/// Scheduler → worker: run stage `stage` of task `task_id` on `features`.
-/// The token carries the task's absolute deadline and the scheduler's
-/// cancel handle; the worker checks it before starting the stage.
+/// Scheduler → worker: run stage `stage` of task group `task_ids` on
+/// `features` (one tensor per member; a singleton group is the classic
+/// per-task dispatch). The token carries the group's tightest absolute
+/// deadline and the scheduler's cancel handle; the worker checks it before
+/// starting the stage.
 struct Job {
-  std::size_t task_id = 0;
+  std::vector<std::size_t> task_ids;
   std::size_t stage = 0;
   std::uint64_t seq = 0;  ///< dispatch sequence; stale results are discarded
-  Tensor features;  ///< previous stage output (or the raw input for stage 0)
+  std::vector<Tensor> features;  ///< previous stage outputs, one per member
   CancellationToken token;
 };
 
-/// Worker → scheduler: the paper's end-of-stage report, plus the features
-/// the next stage needs (kept in-process; only the StageReport crosses the
-/// paper's named pipe). ok=false with recoverable=false is a crash report:
-/// the stage threw and the worker thread is exiting, like a worker process
-/// dying. recoverable=true is a sick-replica stage error: the worker lives.
-/// cancelled=true means the worker skipped the stage cooperatively (token
-/// cancelled, or the propagated deadline had already passed).
+/// Worker → scheduler: the paper's end-of-stage reports (one per group
+/// member), plus the features the next stage needs (kept in-process; only
+/// the StageReports cross the paper's named pipe). ok=false with
+/// recoverable=false is a crash report: the stage threw and the worker
+/// thread is exiting, like a worker process dying. recoverable=true is a
+/// sick-replica stage error: the worker lives. cancelled=true means the
+/// worker skipped the stage cooperatively (token cancelled, or the
+/// propagated deadline had already passed). Failure reports apply to the
+/// whole group — it is one dispatch.
 struct WorkerResult {
   std::size_t worker = 0;
   std::uint64_t seq = 0;
@@ -57,8 +61,8 @@ struct WorkerResult {
   bool cancelled = false;
   std::string error;   ///< what() of the failure, when !ok
   double stage_ms = 0.0;  ///< worker-measured stage execution time
-  StageReport report;
-  Tensor features;
+  std::vector<StageReport> reports;  ///< one per member, on success
+  std::vector<Tensor> features;      ///< one per member, on success
 };
 
 /// One outstanding dispatch of a task's current stage. A task has one entry
@@ -89,11 +93,12 @@ struct LiveTaskState {
 
 /// Scheduler-side view of one worker. `seq` identifies the in-flight
 /// dispatch so a report from an abandoned worker is recognizably stale.
+/// `tasks` is the dispatched group (singleton outside grouped mode).
 struct WorkerSlot {
   bool busy = false;
   bool dead = false;
   std::uint64_t seq = 0;
-  std::size_t task = 0;
+  std::vector<std::size_t> tasks;
   double dispatched_ms = 0.0;
 };
 
@@ -122,6 +127,7 @@ std::vector<LiveTaskResult> run_live(
                    "run_live: mismatched input shapes within batch");
   }
   EUGENE_REQUIRE(config.lookahead >= 1, "run_live: lookahead must be >= 1");
+  EUGENE_REQUIRE(config.stage_batch >= 1, "run_live: stage_batch must be >= 1");
   EUGENE_REQUIRE(config.deadline_ms > 0.0, "run_live: deadline must be positive");
   EUGENE_REQUIRE(config.hedge_quantile > 0.0 && config.hedge_quantile <= 1.0,
                  "run_live: hedge_quantile outside (0, 1]");
@@ -170,6 +176,12 @@ std::vector<LiveTaskResult> run_live(
   // mirroring a worker process dying; the supervisor handles the rest.
   auto worker_main = [&](std::size_t w) {
     nn::StagedModel& model = *worker_models[w];
+    // Grouped-dispatch scratch, owned by this worker thread: the arena and
+    // item slots are reused across jobs, so a warmed worker runs batched
+    // stages without heap allocations (DESIGN.md §14).
+    nn::ScratchArena arena;
+    std::vector<nn::StageBatchItem> items;
+    std::vector<const Tensor*> ptrs;
     while (auto job = job_channels[w].receive()) {
       WorkerResult res;
       res.worker = w;
@@ -206,16 +218,43 @@ std::vector<LiveTaskResult> run_live(
         EUGENE_FAILPOINT("live.worker.slow");
         EUGENE_FAILPOINT("live.worker.crash");
         Stopwatch stage_watch;
-        nn::StageOutput out = model.run_stage(job->stage, job->features);
-        res.stage_ms = stage_watch.elapsed_ms();
-        res.report.task_id = static_cast<std::uint32_t>(job->task_id);
-        res.report.stage = static_cast<std::uint32_t>(job->stage);
-        res.report.predicted_label = static_cast<std::uint32_t>(out.predicted_label);
-        res.report.confidence = out.confidence;
-        res.features = std::move(out.features);
+        const std::size_t members = job->task_ids.size();
+        res.reports.resize(members);
+        res.features.resize(members);
+        if (members == 1) {
+          nn::StageOutput out = model.run_stage(job->stage, job->features.front());
+          res.stage_ms = stage_watch.elapsed_ms();
+          res.reports[0].predicted_label =
+              static_cast<std::uint32_t>(out.predicted_label);
+          res.reports[0].confidence = out.confidence;
+          res.features[0] = std::move(out.features);
+        } else {
+          // Grouped dispatch: one arena-backed batched stage over the whole
+          // group — bitwise identical per member to the per-task path.
+          ptrs.clear();
+          for (const Tensor& f : job->features) ptrs.push_back(&f);
+          if (items.size() < members) items.resize(members);
+          arena.reset();
+          model.run_stage_batch(
+              job->stage, std::span<const Tensor* const>(ptrs.data(), members),
+              std::span<nn::StageBatchItem>(items.data(), members), arena);
+          res.stage_ms = stage_watch.elapsed_ms();
+          for (std::size_t b = 0; b < members; ++b) {
+            res.reports[b].predicted_label =
+                static_cast<std::uint32_t>(items[b].predicted_label);
+            res.reports[b].confidence = items[b].confidence;
+            res.features[b] = std::move(items[b].features);
+          }
+        }
+        for (std::size_t b = 0; b < members; ++b) {
+          res.reports[b].task_id = static_cast<std::uint32_t>(job->task_ids[b]);
+          res.reports[b].stage = static_cast<std::uint32_t>(job->stage);
+        }
       } catch (const std::exception& e) {
         res.ok = false;
         res.error = e.what();
+        res.reports.clear();
+        res.features.clear();
       }
       const bool crashed = !res.ok;
       results.send(std::move(res));
@@ -304,35 +343,39 @@ std::vector<LiveTaskResult> run_live(
     WorkerSlot& slot = slots[w];
     if (!slot.busy) return;
     slot.busy = false;
-    LiveTaskState& t = tasks[slot.task];
-    const auto entry = take_inflight(t, w, slot.seq);
-    if (!entry.has_value() || t.done) return;
-    if (!t.inflight.empty()) return;  // the hedge twin is still racing
-    const double now = clock.now_ms();
-    if (now - t.submit_ms >= config.deadline_ms) {
-      t.done = true;
-      t.expired = true;
-      t.finish_ms = now;
-      ++local_stats.expired;
-      --unfinished;
-      t.span.event(TraceEventKind::kExpire, now);
-      end_span(t, now);
-    } else if (t.retries < config.max_retries) {
-      ++t.retries;
-      ++local_stats.retries;
-      const double backoff = backoff_delay_ms(config.retry, t.retries, backoff_rng);
-      t.eligible_ms = now + backoff;
-      t.hedged_this_stage = false;  // the re-dispatch may hedge again
-      t.span.event(TraceEventKind::kRetry, now,
-                   static_cast<std::uint32_t>(t.stages_done), 0, backoff);
-    } else {
-      t.done = true;
-      t.degraded = true;
-      t.finish_ms = now;
-      ++local_stats.degraded;
-      --unfinished;
-      t.span.event(TraceEventKind::kDegrade, now);
-      end_span(t, now);
+    // Every group member charges its own retry budget: the group failed as
+    // one dispatch, but supervision stays per task.
+    for (const std::size_t task_id : slot.tasks) {
+      LiveTaskState& t = tasks[task_id];
+      const auto entry = take_inflight(t, w, slot.seq);
+      if (!entry.has_value() || t.done) continue;
+      if (!t.inflight.empty()) continue;  // the hedge twin is still racing
+      const double now = clock.now_ms();
+      if (now - t.submit_ms >= config.deadline_ms) {
+        t.done = true;
+        t.expired = true;
+        t.finish_ms = now;
+        ++local_stats.expired;
+        --unfinished;
+        t.span.event(TraceEventKind::kExpire, now);
+        end_span(t, now);
+      } else if (t.retries < config.max_retries) {
+        ++t.retries;
+        ++local_stats.retries;
+        const double backoff = backoff_delay_ms(config.retry, t.retries, backoff_rng);
+        t.eligible_ms = now + backoff;
+        t.hedged_this_stage = false;  // the re-dispatch may hedge again
+        t.span.event(TraceEventKind::kRetry, now,
+                     static_cast<std::uint32_t>(t.stages_done), 0, backoff);
+      } else {
+        t.done = true;
+        t.degraded = true;
+        t.finish_ms = now;
+        ++local_stats.degraded;
+        --unfinished;
+        t.span.event(TraceEventKind::kDegrade, now);
+        end_span(t, now);
+      }
     }
   };
 
@@ -348,25 +391,33 @@ std::vector<LiveTaskResult> run_live(
   };
 
   std::uint64_t next_seq = 1;
-  auto dispatch_to = [&](std::size_t w, std::size_t task, bool hedge) {
-    LiveTaskState& t = tasks[task];
+  auto dispatch_to = [&](std::size_t w, std::vector<std::size_t> group,
+                         bool hedge) {
     Job job;
-    job.task_id = task;
-    job.stage = t.stages_done;
+    job.stage = tasks[group.front()].stages_done;
     job.seq = next_seq++;
-    job.features = t.features;
-    // Deadline propagation: the worker sees the task's absolute deadline
-    // and the scheduler keeps a cancel handle for the hedge race.
-    job.token = CancellationToken(t.submit_ms + config.deadline_ms);
-    t.inflight.push_back({w, job.seq, hedge, job.token});
+    // Deadline propagation: the worker sees the group's tightest absolute
+    // deadline and the scheduler keeps a cancel handle for the hedge race.
+    double abs_deadline = std::numeric_limits<double>::infinity();
+    for (const std::size_t task_id : group) {
+      LiveTaskState& t = tasks[task_id];
+      job.features.push_back(t.features);
+      abs_deadline = std::min(abs_deadline, t.submit_ms + config.deadline_ms);
+    }
+    job.token = CancellationToken(abs_deadline);
     WorkerSlot& slot = slots[w];
     slot.busy = true;
     slot.seq = job.seq;
-    slot.task = task;
     slot.dispatched_ms = clock.now_ms();
-    t.span.event(hedge ? TraceEventKind::kHedge : TraceEventKind::kDispatch,
-                 slot.dispatched_ms, static_cast<std::uint32_t>(job.stage),
-                 static_cast<std::uint32_t>(w));
+    for (const std::size_t task_id : group) {
+      LiveTaskState& t = tasks[task_id];
+      t.inflight.push_back({w, job.seq, hedge, job.token});
+      t.span.event(hedge ? TraceEventKind::kHedge : TraceEventKind::kDispatch,
+                   slot.dispatched_ms, static_cast<std::uint32_t>(job.stage),
+                   static_cast<std::uint32_t>(w));
+    }
+    job.task_ids = group;
+    slot.tasks = std::move(group);
     job_channels[w].send(std::move(job));
   };
 
@@ -414,7 +465,22 @@ std::vector<LiveTaskResult> run_live(
       if (runnable.empty()) return;
       const auto choice = policy.pick(runnable, now);
       if (!choice.has_value()) return;
-      dispatch_to(ready.front(), *choice, /*hedge=*/false);
+      // Grouped dispatch: ride other runnable tasks at the same stage (and
+      // feature shape) along with the policy's pick, up to stage_batch. The
+      // pick stays the policy's; the riders only amortize the stage's GEMMs.
+      std::vector<std::size_t> group = {*choice};
+      if (config.stage_batch > 1) {
+        const LiveTaskState& lead = tasks[*choice];
+        for (const TaskView& v : runnable) {
+          if (group.size() >= config.stage_batch) break;
+          if (v.task_id == *choice) continue;
+          const LiveTaskState& t = tasks[v.task_id];
+          if (t.stages_done == lead.stages_done &&
+              t.features.same_shape(lead.features))
+            group.push_back(v.task_id);
+        }
+      }
+      dispatch_to(ready.front(), std::move(group), /*hedge=*/false);
     }
   };
 
@@ -453,7 +519,8 @@ std::vector<LiveTaskResult> run_live(
       WorkerSlot& slot = slots[w];
       if (!slot.busy || slot.dead) continue;
       if (now - slot.dispatched_ms < threshold) continue;
-      LiveTaskState& t = tasks[slot.task];
+      if (slot.tasks.size() != 1) continue;  // grouped dispatches never hedge
+      LiveTaskState& t = tasks[slot.tasks.front()];
       if (t.done || t.hedged_this_stage || t.inflight.size() != 1) continue;
       if (t.inflight.front().worker != w || t.inflight.front().seq != slot.seq)
         continue;
@@ -461,8 +528,8 @@ std::vector<LiveTaskResult> run_live(
       if (ready.empty()) continue;  // no spare healthy replica: no hedge
       t.hedged_this_stage = true;
       ++local_stats.hedges_issued;
-      const std::size_t task = slot.task;
-      dispatch_to(ready.front(), task, /*hedge=*/true);
+      const std::size_t task = slot.tasks.front();
+      dispatch_to(ready.front(), {task}, /*hedge=*/true);
       EUGENE_LOG(Debug) << "live: hedging task " << task << " stage "
                         << t.stages_done << " (worker " << w << " out "
                         << (now - slot.dispatched_ms) << " ms, threshold "
@@ -492,14 +559,15 @@ std::vector<LiveTaskResult> run_live(
           ++local_stats.worker_timeouts;
           EUGENE_LOG(Warn) << "live: worker " << w << " silent for "
                            << (now - slots[w].dispatched_ms)
-                           << " ms; abandoning it and re-queueing task "
-                           << slots[w].task;
+                           << " ms; abandoning it and re-queueing "
+                           << slots[w].tasks.size() << " task(s)";
           slots[w].dead = true;
           breakers[w].record_failure(now);
-          tasks[slots[w].task].span.event(
-              TraceEventKind::kStageError, now,
-              static_cast<std::uint32_t>(tasks[slots[w].task].stages_done),
-              static_cast<std::uint32_t>(w));
+          for (const std::size_t task_id : slots[w].tasks)
+            tasks[task_id].span.event(
+                TraceEventKind::kStageError, now,
+                static_cast<std::uint32_t>(tasks[task_id].stages_done),
+                static_cast<std::uint32_t>(w));
           fail_dispatch(w);
         }
       }
@@ -551,7 +619,8 @@ std::vector<LiveTaskResult> run_live(
         for (std::size_t w = 0; w < num_workers; ++w) {
           const WorkerSlot& s = slots[w];
           if (!s.busy || s.dead) continue;
-          const LiveTaskState& t = tasks[s.task];
+          if (s.tasks.size() != 1) continue;  // grouped dispatches never hedge
+          const LiveTaskState& t = tasks[s.tasks.front()];
           if (t.done || t.hedged_this_stage) continue;
           const double until = s.dispatched_ms + *threshold - now;
           wait_ms = std::min(wait_ms, std::max(until, 0.1));
@@ -566,8 +635,6 @@ std::vector<LiveTaskResult> run_live(
     if (!current) continue;  // stale report from an abandoned worker
 
     const double now = clock.now_ms();
-    const std::size_t task_id = slot.task;
-    LiveTaskState& t = tasks[task_id];
 
     if (res->cancelled) {
       // The worker honored a cancellation (hedge race decided against it,
@@ -576,11 +643,14 @@ std::vector<LiveTaskResult> run_live(
       // set counts as newly cancelled — a decided hedge race already
       // counted its loser when the winner was processed.
       slot.busy = false;
-      if (take_inflight(t, res->worker, res->seq).has_value()) {
-        ++local_stats.cancelled;
-        t.span.event(TraceEventKind::kCancel, now,
-                     static_cast<std::uint32_t>(t.stages_done),
-                     static_cast<std::uint32_t>(res->worker));
+      for (const std::size_t task_id : slot.tasks) {
+        LiveTaskState& t = tasks[task_id];
+        if (take_inflight(t, res->worker, res->seq).has_value()) {
+          ++local_stats.cancelled;
+          t.span.event(TraceEventKind::kCancel, now,
+                       static_cast<std::uint32_t>(t.stages_done),
+                       static_cast<std::uint32_t>(res->worker));
+        }
       }
       dispatch();
       continue;
@@ -590,12 +660,14 @@ std::vector<LiveTaskResult> run_live(
       // Sick-replica stage error: the worker lives, the dispatch failed.
       ++local_stats.worker_errors;
       breakers[res->worker].record_failure(now);
-      EUGENE_LOG(Warn) << "live: worker " << res->worker
-                       << " failed a stage of task " << task_id
-                       << " (recoverable): " << res->error;
-      t.span.event(TraceEventKind::kStageError, now,
-                   static_cast<std::uint32_t>(t.stages_done),
-                   static_cast<std::uint32_t>(res->worker));
+      EUGENE_LOG(Warn) << "live: worker " << res->worker << " failed a stage of "
+                       << slot.tasks.size() << " task(s) (recoverable): "
+                       << res->error;
+      for (const std::size_t task_id : slot.tasks)
+        tasks[task_id].span.event(
+            TraceEventKind::kStageError, now,
+            static_cast<std::uint32_t>(tasks[task_id].stages_done),
+            static_cast<std::uint32_t>(res->worker));
       fail_dispatch(res->worker);
       dispatch();
       continue;
@@ -605,12 +677,14 @@ std::vector<LiveTaskResult> run_live(
       ++local_stats.worker_crashes;
       breakers[res->worker].record_failure(now);
       EUGENE_LOG(Warn) << "live: worker " << res->worker
-                       << " crashed running task " << task_id << ": "
-                       << res->error;
+                       << " crashed running " << slot.tasks.size()
+                       << " task(s): " << res->error;
       slot.dead = true;
-      t.span.event(TraceEventKind::kStageError, now,
-                   static_cast<std::uint32_t>(t.stages_done),
-                   static_cast<std::uint32_t>(res->worker));
+      for (const std::size_t task_id : slot.tasks)
+        tasks[task_id].span.event(
+            TraceEventKind::kStageError, now,
+            static_cast<std::uint32_t>(tasks[task_id].stages_done),
+            static_cast<std::uint32_t>(res->worker));
       fail_dispatch(res->worker);
       maybe_respawn(res->worker);
       dispatch();
@@ -618,54 +692,62 @@ std::vector<LiveTaskResult> run_live(
     }
 
     // Successful stage execution: good for the replica's health either way,
-    // and a fresh latency observation for the hedge threshold.
+    // and a fresh latency observation for the hedge threshold. The reports
+    // cross a (possibly named-pipe) channel boundary: validate the envelope
+    // before indexing scheduler state with its contents.
+    EUGENE_CHECK_EQ(res->reports.size(), slot.tasks.size())
+        << "stage report count disagrees with the dispatched group";
+    EUGENE_CHECK_EQ(res->features.size(), slot.tasks.size())
+        << "stage feature count disagrees with the dispatched group";
     breakers[res->worker].record_success(res->stage_ms, now);
-    note_latency(now - slot.dispatched_ms, t.stages_done);
+    note_latency(now - slot.dispatched_ms,
+                 static_cast<std::size_t>(res->reports.front().stage));
     slot.busy = false;
-    const auto won = take_inflight(t, res->worker, res->seq);
-    if (!won.has_value()) {
-      // Hedge-race loser: its twin already advanced the task. The result is
-      // valid but redundant; the sequence bookkeeping keeps it out of task
-      // state (no result races).
-      dispatch();
-      continue;
-    }
-    if (won->hedge) ++local_stats.hedges_won;
-    // Decide the race: cancel any still-outstanding twin cooperatively
-    // (counted now, when the race is decided — the loser's acknowledgment
-    // may arrive after the batch completes). Its eventual report (success,
-    // cancelled, or crash) is handled above as a non-in-flight event.
-    local_stats.cancelled += t.inflight.size();
-    for (auto& d : t.inflight) {
-      d.token.cancel();
-      t.span.event(TraceEventKind::kCancel, now,
-                   static_cast<std::uint32_t>(t.stages_done),
-                   static_cast<std::uint32_t>(d.worker));
-    }
-    t.inflight.clear();
-    t.hedged_this_stage = false;
+    for (std::size_t b = 0; b < slot.tasks.size(); ++b) {
+      const std::size_t task_id = slot.tasks[b];
+      LiveTaskState& t = tasks[task_id];
+      const auto won = take_inflight(t, res->worker, res->seq);
+      if (!won.has_value()) {
+        // Hedge-race loser: its twin already advanced the task. The result
+        // is valid but redundant; the sequence bookkeeping keeps it out of
+        // task state (no result races).
+        continue;
+      }
+      if (won->hedge) ++local_stats.hedges_won;
+      // Decide the race: cancel any still-outstanding twin cooperatively
+      // (counted now, when the race is decided — the loser's acknowledgment
+      // may arrive after the batch completes). Its eventual report (success,
+      // cancelled, or crash) is handled above as a non-in-flight event.
+      local_stats.cancelled += t.inflight.size();
+      for (auto& d : t.inflight) {
+        d.token.cancel();
+        t.span.event(TraceEventKind::kCancel, now,
+                     static_cast<std::uint32_t>(t.stages_done),
+                     static_cast<std::uint32_t>(d.worker));
+      }
+      t.inflight.clear();
+      t.hedged_this_stage = false;
 
-    // The report crosses a (possibly named-pipe) channel boundary: validate
-    // it before indexing scheduler state with it.
-    EUGENE_CHECK_EQ(res->report.task_id, task_id)
-        << "stage report names a task other than its dispatch";
-    EUGENE_CHECK_EQ(res->report.stage, t.stages_done)
-        << "out-of-order stage report for task " << task_id;
-    const bool late = now - t.submit_ms >= config.deadline_ms;
-    if (!t.done) {
+      const StageReport& report = res->reports[b];
+      EUGENE_CHECK_EQ(report.task_id, task_id)
+          << "stage report names a task other than its dispatch";
+      EUGENE_CHECK_EQ(report.stage, t.stages_done)
+          << "out-of-order stage report for task " << task_id;
+      const bool late = now - t.submit_ms >= config.deadline_ms;
+      if (t.done) continue;
       if (!late) {
         // In-deadline result: accept it.
-        t.span.event(TraceEventKind::kStageDone, now, res->report.stage,
+        t.span.event(TraceEventKind::kStageDone, now, report.stage,
                      static_cast<std::uint32_t>(res->worker),
-                     res->report.confidence);
+                     report.confidence);
         ++t.stages_done;
-        t.observed_confidence.push_back(res->report.confidence);
-        t.last_label = res->report.predicted_label;
-        t.features = std::move(res->features);
-        policy.on_stage_complete(res->report.task_id, res->report.stage,
-                                 res->report.confidence);
+        t.observed_confidence.push_back(report.confidence);
+        t.last_label = report.predicted_label;
+        t.features = std::move(res->features[b]);
+        policy.on_stage_complete(report.task_id, report.stage,
+                                 report.confidence);
         if (t.stages_done == num_stages ||
-            res->report.confidence >= config.early_exit_confidence) {
+            report.confidence >= config.early_exit_confidence) {
           t.done = true;
           t.finish_ms = now;
           --unfinished;

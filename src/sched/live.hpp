@@ -57,6 +57,16 @@ struct LiveConfig {
   double early_exit_confidence = 2.0;  ///< >1 disables early exit
   std::size_t lookahead = 1;           ///< RTDeepIoT k
 
+  /// Grouped dispatch (DESIGN.md §14): one worker dispatch may carry up to
+  /// stage_batch same-stage, same-shape tasks, and the worker runs them as
+  /// one arena-backed batched stage (one wide GEMM per layer, bitwise
+  /// identical per-task results). 1 = per-task dispatch, the exact legacy
+  /// behavior. Grouped dispatches never hedge: a hedge would duplicate the
+  /// whole group's work to chase one straggler. The group fails, retries,
+  /// and cancels as a unit (it is one dispatch), but every member keeps its
+  /// own retry budget, deadline, and span.
+  std::size_t stage_batch = 1;
+
   // Worker supervision (DESIGN.md §8 "Failure model").
   std::size_t max_retries = 2;   ///< per-task re-dispatches after worker failure
   double worker_timeout_ms =

@@ -130,6 +130,33 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
           "serving.stage_latency_ms.stage" + std::to_string(s)));
   }
 
+  // Bookkeeping for one stage failure (injected or real) on request `i`:
+  // burns one retry; past the budget the request finishes degraded with its
+  // best result so far. Returns false when the request was finished here.
+  // Shared by the per-sample runner and the batched first stage so fault
+  // accounting (fires == retries) is identical on both paths.
+  auto note_stage_failure = [&](std::size_t i, const Error& e) -> bool {
+    RequestState& s = state[i];
+    ++s.retries;
+    if (s.span)
+      s.span.event(TraceEventKind::kStageError, clock.now_ms(),
+                   static_cast<std::uint32_t>(s.stages_done));
+    if (s.retries > config_.max_stage_retries) {
+      EUGENE_LOG(Warn) << "serving: request " << i
+                       << " exhausted stage retries; degrading: " << e.what();
+      s.done = true;
+      s.degraded = true;
+      s.finish_ms = clock.now_ms();
+      s.span.event(TraceEventKind::kDegrade, s.finish_ms);
+      end_span(s, s.finish_ms);
+      return false;
+    }
+    if (s.span)
+      s.span.event(TraceEventKind::kRetry, clock.now_ms(),
+                   static_cast<std::uint32_t>(s.stages_done));
+    return true;
+  };
+
   // Runs one stage for request `i`, absorbing injected or real stage
   // failures: a throwing stage is retried up to max_stage_retries times;
   // past the budget the request completes degraded with its best result so
@@ -153,23 +180,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
         s.features = std::move(out.features);
         return true;
       } catch (const Error& e) {
-        ++s.retries;
-        if (s.span)
-          s.span.event(TraceEventKind::kStageError, clock.now_ms(),
-                       static_cast<std::uint32_t>(s.stages_done));
-        if (s.retries > config_.max_stage_retries) {
-          EUGENE_LOG(Warn) << "serving: request " << i
-                           << " exhausted stage retries; degrading: " << e.what();
-          s.done = true;
-          s.degraded = true;
-          s.finish_ms = clock.now_ms();
-          s.span.event(TraceEventKind::kDegrade, s.finish_ms);
-          end_span(s, s.finish_ms);
-          return false;
-        }
-        if (s.span)
-          s.span.event(TraceEventKind::kRetry, clock.now_ms(),
-                       static_cast<std::uint32_t>(s.stages_done));
+        if (!note_stage_failure(i, e)) return false;
       }
     }
   };
@@ -257,6 +268,115 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
     return config_.classes[requests[i].service_class].deadline_ms;
   };
 
+  // Post-stage bookkeeping shared by the per-sample loop and the batched
+  // first stage: feed the policy, then finish the request on full
+  // completion or confident early exit.
+  auto post_stage_bookkeeping = [&](std::size_t i) {
+    RequestState& s = state[i];
+    policy.on_stage_complete(i, s.stages_done - 1, s.observed.back());
+    if (s.stages_done == num_stages ||
+        s.observed.back() >= config_.early_exit_confidence) {
+      s.done = true;
+      s.finish_ms = clock.now_ms();
+      --remaining;
+      end_span(s, s.finish_ms);
+    }
+  };
+
+  // Batched first stage (DESIGN.md §14): every admitted, still-live request
+  // at stage 0 whose deadline has not passed runs its first stage as one
+  // arena-backed batched forward per input shape — one wide GEMM per layer
+  // instead of one narrow GEMM per request. run_stage_batch is bitwise-
+  // identical to run_stage per member, so confidences, labels, early exits,
+  // and the policy's view of the world match the per-sample path exactly.
+  // Fault semantics are preserved member-by-member: the stage-crash chaos
+  // seam is consumed once per member (exactly the evaluation the per-sample
+  // first attempt would make); a member whose seam fires falls back to the
+  // guarded per-sample runner for its retries, and a real batched-kernel
+  // failure silently leaves members at stage 0 for the main loop.
+  auto run_first_stage_batched = [&](const std::vector<std::size_t>& group) {
+    std::vector<std::size_t> live;
+    live.reserve(group.size());
+    for (std::size_t i : group) {
+      try {
+        EUGENE_FAILPOINT("serving.stage.crash");
+        live.push_back(i);
+      } catch (const Error& e) {
+        if (!note_stage_failure(i, e)) {
+          --remaining;
+          continue;
+        }
+        state[i].first_stage_ms = clock.now_ms();
+        if (!run_stage_guarded(i)) {
+          --remaining;
+          continue;
+        }
+        post_stage_bookkeeping(i);
+      }
+    }
+    if (live.empty()) return;
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(live.size());
+    for (std::size_t i : live) inputs.push_back(&state[i].features);
+    if (batch_items_.size() < live.size()) batch_items_.resize(live.size());
+    const double start_ms = clock.now_ms();
+    for (std::size_t i : live) state[i].first_stage_ms = start_ms;
+    try {
+      Stopwatch batch_watch;
+      arena_.reset();
+      entry_.model.run_stage_batch(
+          0, std::span<const Tensor* const>(inputs.data(), live.size()),
+          std::span<nn::StageBatchItem>(batch_items_.data(), live.size()),
+          arena_);
+      // The batch's cost is shared evenly across members in the per-stage
+      // latency histogram — the per-member amortized cost is what capacity
+      // planning reads off stage0's distribution.
+      const double member_ms =
+          batch_watch.elapsed_ms() / static_cast<double>(live.size());
+      for (std::size_t b = 0; b < live.size(); ++b) {
+        const std::size_t i = live[b];
+        RequestState& s = state[i];
+        nn::StageBatchItem& item = batch_items_[b];
+        if (!stage_hists.empty()) stage_hists[0]->record(member_ms);
+        if (s.span)
+          s.span.event(TraceEventKind::kStageDone, clock.now_ms(), 0, 0,
+                       item.confidence);
+        s.stages_done = 1;
+        s.observed.push_back(item.confidence);
+        s.label = item.predicted_label;
+        s.features = std::move(item.features);
+        post_stage_bookkeeping(i);
+      }
+    } catch (const Error& e) {
+      EUGENE_LOG(Warn) << "serving: batched first stage failed ("
+                       << e.what() << "); falling back to per-sample runs";
+      for (std::size_t i : live) state[i].first_stage_ms = -1.0;
+    }
+  };
+
+  if (config_.batch_first_stage && num_stages > 0 && remaining > 0) {
+    const double now = clock.now_ms();
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < state.size(); ++i)
+      if (!state[i].done && state[i].stages_done == 0 && now < deadline_of(i))
+        pending.push_back(i);
+    std::vector<std::size_t> group;
+    for (std::size_t gi = 0; gi < pending.size(); ++gi) {
+      const std::size_t rep = pending[gi];
+      // Skip members a previous group already ran (or finished).
+      if (state[rep].done || state[rep].stages_done != 0) continue;
+      group.clear();
+      for (std::size_t gj = gi; gj < pending.size(); ++gj) {
+        const std::size_t j = pending[gj];
+        if (!state[j].done && state[j].stages_done == 0 &&
+            state[j].features.same_shape(state[rep].features))
+          group.push_back(j);
+      }
+      if (group.size() < 2) continue;  // nothing to amortize
+      run_first_stage_batched(group);
+    }
+  }
+
   while (remaining > 0) {
     const double now = clock.now_ms();
     // Latency daemon sweep: expire overdue requests.
@@ -297,14 +417,7 @@ std::vector<InferenceResponse> InferenceServer::process_batch(
       --remaining;
       continue;
     }
-    policy.on_stage_complete(*choice, s.stages_done - 1, s.observed.back());
-    if (s.stages_done == num_stages ||
-        s.observed.back() >= config_.early_exit_confidence) {
-      s.done = true;
-      s.finish_ms = clock.now_ms();
-      --remaining;
-      end_span(s, s.finish_ms);
-    }
+    post_stage_bookkeeping(*choice);
   }
 
   // Feed the measured queue delay back into the brown-out controller: the

@@ -1,0 +1,64 @@
+// Internal micro-kernel interface shared by the per-ISA translation units.
+//
+// A micro-kernel consumes one packed A panel (kc×mr, column-of-rows layout:
+// a[p*mr + r]) and one packed B panel (kc×nr: b[p*nr + j]) and computes the
+// full mr×nr tile acc[r][j] = Σ_p a[p*mr+r]·b[p*nr+j], then stores it to C
+// (row stride ldc): overwriting when beta == 0, accumulating when beta == 1.
+// Panels are zero-padded in the m/n direction only — never in k — so every
+// kept C entry is an exact ordered sum of real products.
+#pragma once
+
+#include <cstddef>
+
+namespace eugene::tensor::detail {
+
+/// Row/column register-tile extents, bounded so the blocked driver can size
+/// packing panels and edge-tile buffers for any ISA.
+inline constexpr std::size_t kMaxMr = 8;
+inline constexpr std::size_t kMaxNr = 16;
+
+/// One ISA level's micro-kernel and its tile shape.
+///
+/// `direct` / `direct_edge` are the strided no-pack variants behind the
+/// short-m fast path: they read A and B row-major in place (leading
+/// dimensions lda/ldb) instead of from packed panels, with the SAME
+/// per-element accumulation chain as `kernel` — same op (FMA or mul+add),
+/// same p order — so a C entry is bitwise-identical whichever variant
+/// computed it. `direct` computes the full mr×nr tile; `direct_edge`
+/// computes only the first `rows` (< mr) rows at full nr width.
+/// `gather` / `gather_edge` are the row-pointer variants behind the implicit
+/// im2col conv path: B row p starts at b_rows[p] + boff (rows need not be
+/// equally spaced — conv points them at overlapping shifted windows of one
+/// padded image). Same accumulation chain as `kernel` / `direct`.
+struct KernelInfo {
+  std::size_t mr = 0;
+  std::size_t nr = 0;
+  void (*kernel)(std::size_t kc, const float* a_panel, const float* b_panel,
+                 float* c, std::size_t ldc, float beta) = nullptr;
+  void (*direct)(std::size_t kc, const float* a, std::size_t lda,
+                 const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                 float beta) = nullptr;
+  void (*direct_edge)(std::size_t rows, std::size_t kc, const float* a,
+                      std::size_t lda, const float* b, std::size_t ldb,
+                      float* c, std::size_t ldc, float beta) = nullptr;
+  void (*gather)(std::size_t kc, const float* a, std::size_t lda,
+                 const float* const* b_rows, std::size_t boff, float* c,
+                 std::size_t ldc, float beta) = nullptr;
+  void (*gather_edge)(std::size_t rows, std::size_t kc, const float* a,
+                      std::size_t lda, const float* const* b_rows,
+                      std::size_t boff, float* c, std::size_t ldc,
+                      float beta) = nullptr;
+};
+
+/// Portable kernel, always available.
+KernelInfo scalar_kernel();
+
+/// True when the CPU supports AVX2 and FMA (always false off x86-64).
+bool avx2_fma_supported();
+
+/// AVX2+FMA 6×16 kernel. Calling it on a CPU without AVX2/FMA is undefined;
+/// guard with avx2_fma_supported(). Off x86-64 this returns the scalar
+/// kernel so the dispatch table stays total.
+KernelInfo avx2_kernel();
+
+}  // namespace eugene::tensor::detail

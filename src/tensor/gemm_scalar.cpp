@@ -1,0 +1,124 @@
+// Portable micro-kernel: a 4×8 register tile in plain C++. The fixed inner
+// extents let the compiler keep the accumulators in registers and
+// auto-vectorize with whatever the baseline ISA offers (SSE2 on x86-64).
+#include "tensor/gemm_kernel.hpp"
+
+namespace eugene::tensor::detail {
+namespace {
+
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+void kernel_4x8(std::size_t kc, const float* a_panel, const float* b_panel,
+                float* c, std::size_t ldc, float beta) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * kMr;
+    const float* b = b_panel + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float ar = a[r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * b[j];
+    }
+  }
+  if (beta == 0.0f) {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+// Strided no-pack variant: same accumulator layout and per-element
+// mul-then-add chain as kernel_4x8, reading A/B row-major in place.
+void direct_4x8(std::size_t kc, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                float beta) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float ar = a[r * lda + p];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  if (beta == 0.0f) {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+// m-edge of the strided path: first `rows` (< mr) rows at full nr width.
+void direct_edge_4x8(std::size_t rows, std::size_t kc, const float* a,
+                     std::size_t lda, const float* b, std::size_t ldb,
+                     float* c, std::size_t ldc, float beta) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float ar = a[r * lda + p];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  if (beta == 0.0f) {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+// Row-pointer variants: B row p starts at b_rows[p] + boff. Same chain as
+// the panel/strided kernels above.
+void gather_4x8(std::size_t kc, const float* a, std::size_t lda,
+                const float* const* b_rows, std::size_t boff, float* c,
+                std::size_t ldc, float beta) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = b_rows[p] + boff;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float ar = a[r * lda + p];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  if (beta == 0.0f) {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+void gather_edge_4x8(std::size_t rows, std::size_t kc, const float* a,
+                     std::size_t lda, const float* const* b_rows,
+                     std::size_t boff, float* c, std::size_t ldc, float beta) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = b_rows[p] + boff;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float ar = a[r * lda + p];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  if (beta == 0.0f) {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+}  // namespace
+
+KernelInfo scalar_kernel() {
+  return {kMr,        kNr,         &kernel_4x8,     &direct_4x8,
+          &direct_edge_4x8, &gather_4x8, &gather_edge_4x8};
+}
+
+}  // namespace eugene::tensor::detail

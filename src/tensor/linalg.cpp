@@ -68,22 +68,44 @@ std::vector<double> least_squares(const Tensor& x, const std::vector<double>& y,
   const std::size_t n = x.dim(0), p = x.dim(1);
   EUGENE_REQUIRE(y.size() == n, "least_squares: y size mismatch");
   EUGENE_REQUIRE(n >= p, "least_squares: underdetermined system");
-  // Form XᵀX (+ ridge·I) and Xᵀy in double precision.
-  Tensor xtx({p, p});
+  // Form XᵀX (+ ridge·I) and Xᵀy in double precision. The accumulation
+  // stays in doubles until the very end: the old code rounded the running
+  // XᵀX sums to float on every `+=`, which — amplified by the conditioning
+  // of nearly-collinear designs — visibly corrupted the solution
+  // (Linalg.LeastSquaresConditioningOffsetData pins the regression).
+  std::vector<double> xtx_acc(p * p, 0.0);
   std::vector<double> xty(p, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t a = 0; a < p; ++a) {
       const double xa = x.at(i, a);
       xty[a] += xa * y[i];
       for (std::size_t b = 0; b <= a; ++b)
-        xtx.at(a, b) += static_cast<float>(xa * static_cast<double>(x.at(i, b)));
+        xtx_acc[a * p + b] += xa * static_cast<double>(x.at(i, b));
     }
   }
-  for (std::size_t a = 0; a < p; ++a) {
-    xtx.at(a, a) += static_cast<float>(ridge);
-    for (std::size_t b = a + 1; b < p; ++b) xtx.at(a, b) = xtx.at(b, a);
+  // A near-collinear design can leave the float-rounded Gram matrix not
+  // positive definite even though the double accumulation is exact; escalate
+  // the ridge (scaled to the Gram trace) a few times before giving up.
+  double trace = 0.0;
+  for (std::size_t a = 0; a < p; ++a) trace += xtx_acc[a * p + a];
+  double r = ridge;
+  for (int attempt = 0;; ++attempt) {
+    Tensor xtx({p, p});
+    for (std::size_t a = 0; a < p; ++a) {
+      xtx.at(a, a) = static_cast<float>(xtx_acc[a * p + a] + r);
+      for (std::size_t b = 0; b < a; ++b) {
+        const float v = static_cast<float>(xtx_acc[a * p + b]);
+        xtx.at(a, b) = v;
+        xtx.at(b, a) = v;
+      }
+    }
+    try {
+      return solve_spd(xtx, xty);
+    } catch (const InvalidArgument&) {
+      if (attempt >= 3) throw;
+      r = std::max({r * 1e3, trace / static_cast<double>(p) * 1e-6, 1e-12});
+    }
   }
-  return solve_spd(xtx, xty);
 }
 
 }  // namespace eugene::tensor

@@ -1,6 +1,7 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace eugene::tensor {
 namespace {
@@ -10,108 +11,170 @@ void require_matrix(const Tensor& t, const char* name) {
                                     shape_to_string(t.shape()));
 }
 
+void require_out_shape(const Tensor& out, std::size_t m, std::size_t n,
+                       const char* name) {
+  EUGENE_REQUIRE(out.rank() == 2 && out.dim(0) == m && out.dim(1) == n,
+                 std::string(name) + ": output tensor has the wrong shape");
+}
+
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// The matmul family delegates to the tiled GEMM core (gemm.hpp). Note the
+// old scalar loops' `if (a == 0.0f) continue;` fast path is gone for good:
+// it silently turned 0·NaN / 0·inf into 0 (Matmul.NaNInfPropagation pins
+// the IEEE behavior) and mispredicted once per inner iteration on dense
+// data.
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 float* workspace) {
   require_matrix(a, "matmul a");
   require_matrix(b, "matmul b");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   EUGENE_REQUIRE(b.dim(0) == k, "matmul: inner dimensions disagree");
-  Tensor c({m, n});
-  const float* ap = a.raw();
-  const float* bp = b.raw();
-  float* cp = c.raw();
-  // ikj loop order: streams through B and C rows, cache friendly.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = ap[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bp + kk * n;
-      float* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  require_out_shape(out, m, n, "matmul_into");
+  gemm(m, n, k, a.raw(), k, false, b.raw(), n, false, 0.0f, out.raw(), n,
+       workspace);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_matrix(a, "matmul a");
+  require_matrix(b, "matmul b");
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul_into(a, b, c);
   return c;
+}
+
+void matmul_transpose_a_into(const Tensor& a, const Tensor& b, Tensor& out,
+                             float* workspace) {
+  require_matrix(a, "matmul_transpose_a a");
+  require_matrix(b, "matmul_transpose_a b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  EUGENE_REQUIRE(b.dim(0) == k, "matmul_transpose_a: inner dimensions disagree");
+  require_out_shape(out, m, n, "matmul_transpose_a_into");
+  gemm(m, n, k, a.raw(), m, true, b.raw(), n, false, 0.0f, out.raw(), n,
+       workspace);
 }
 
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   require_matrix(a, "matmul_transpose_a a");
   require_matrix(b, "matmul_transpose_a b");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  EUGENE_REQUIRE(b.dim(0) == k, "matmul_transpose_a: inner dimensions disagree");
-  Tensor c({m, n});
-  const float* ap = a.raw();
-  const float* bp = b.raw();
-  float* cp = c.raw();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Tensor c({a.dim(1), b.dim(1)});
+  matmul_transpose_a_into(a, b, c);
   return c;
+}
+
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out,
+                             float* workspace) {
+  require_matrix(a, "matmul_transpose_b a");
+  require_matrix(b, "matmul_transpose_b b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  EUGENE_REQUIRE(b.dim(1) == k, "matmul_transpose_b: inner dimensions disagree");
+  require_out_shape(out, m, n, "matmul_transpose_b_into");
+  gemm(m, n, k, a.raw(), k, false, b.raw(), k, true, 0.0f, out.raw(), n,
+       workspace);
 }
 
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   require_matrix(a, "matmul_transpose_b a");
   require_matrix(b, "matmul_transpose_b b");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  EUGENE_REQUIRE(b.dim(1) == k, "matmul_transpose_b: inner dimensions disagree");
-  Tensor c({m, n});
-  const float* ap = a.raw();
-  const float* bp = b.raw();
-  float* cp = c.raw();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      cp[i * n + j] = acc;
-    }
-  }
+  Tensor c({a.dim(0), b.dim(0)});
+  matmul_transpose_b_into(a, b, c);
   return c;
 }
 
-Tensor im2col(const Tensor& image_chw, const Conv2dGeometry& g) {
-  EUGENE_REQUIRE(image_chw.rank() == 3, "im2col: expected CHW image");
-  EUGENE_REQUIRE(image_chw.dim(0) == g.in_channels && image_chw.dim(1) == g.in_height &&
-                     image_chw.dim(2) == g.in_width,
-                 "im2col: image does not match geometry");
+void im2col_strided_into(const float* img, std::size_t chan_stride,
+                         const Conv2dGeometry& g, float* cols,
+                         std::size_t cols_ld, std::size_t col0) {
   const std::size_t oh = g.out_height(), ow = g.out_width();
-  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
-  Tensor cols({patch, oh * ow});
-  const float* img = image_chw.raw();
-  float* out = cols.raw();
-  const std::size_t hw = g.in_height * g.in_width;
+  const long long ih = static_cast<long long>(g.in_height);
+  const long long iw = static_cast<long long>(g.in_width);
   for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = img + c * chan_stride;
     for (std::size_t ky = 0; ky < g.kernel; ++ky) {
       for (std::size_t kx = 0; kx < g.kernel; ++kx) {
         const std::size_t row = (c * g.kernel + ky) * g.kernel + kx;
-        float* dst = out + row * oh * ow;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          // Signed arithmetic: padded coordinates can be negative.
-          const long long iy = static_cast<long long>(oy * g.stride + ky) -
+        float* dst = cols + row * cols_ld + col0;
+        if (g.stride == 1) {
+          // All bounds are loop-invariant at stride 1 (signed: padded
+          // coordinates can be negative): rows oy ∈ [lo_y, hi_y) read image
+          // row oy+dy, columns ox ∈ [lo, hi) read column ox+dx; everything
+          // outside is padding, zero-filled in bulk.
+          const long long dy = static_cast<long long>(ky) -
                                static_cast<long long>(g.padding);
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const long long ix = static_cast<long long>(ox * g.stride + kx) -
-                                 static_cast<long long>(g.padding);
-            float v = 0.0f;
-            if (iy >= 0 && iy < static_cast<long long>(g.in_height) && ix >= 0 &&
-                ix < static_cast<long long>(g.in_width)) {
-              v = img[c * hw + static_cast<std::size_t>(iy) * g.in_width +
-                      static_cast<std::size_t>(ix)];
+          const long long dx = static_cast<long long>(kx) -
+                               static_cast<long long>(g.padding);
+          const long long ohs = static_cast<long long>(oh);
+          const long long ows = static_cast<long long>(ow);
+          const long long lo_y = std::min(ohs, std::max<long long>(0, -dy));
+          const long long hi_y = std::max(lo_y, std::min(ohs, ih - dy));
+          const long long lo = std::min(ows, std::max<long long>(0, -dx));
+          const long long hi = std::max(lo, std::min(ows, iw - dx));
+          std::fill_n(dst, static_cast<std::size_t>(lo_y) * ow, 0.0f);
+          std::fill_n(dst + hi_y * ows, static_cast<std::size_t>(ohs - hi_y) * ow,
+                      0.0f);
+          const float* src = plane + (lo_y + dy) * iw + lo + dx;
+          float* d = dst + lo_y * ows;
+          if (dx == 0 && lo == 0 && hi == ows && ows == iw) {
+            // Horizontally aligned same-width rows: source and destination
+            // are both contiguous across rows — one copy for the whole band.
+            std::memcpy(d, src,
+                        static_cast<std::size_t>(hi_y - lo_y) * ow * sizeof(float));
+          } else if (hi - lo > 16) {
+            for (long long oy = lo_y; oy < hi_y; ++oy, d += ows, src += iw) {
+              for (long long x = 0; x < lo; ++x) d[x] = 0.0f;
+              std::memcpy(d + lo, src,
+                          static_cast<std::size_t>(hi - lo) * sizeof(float));
+              for (long long x = hi; x < ows; ++x) d[x] = 0.0f;
             }
-            dst[oy * ow + ox] = v;
+          } else {
+            // Short rows: an out-of-line memcpy call costs more than the
+            // copy itself (small feature maps hit this ~1k times per conv).
+            for (long long oy = lo_y; oy < hi_y; ++oy, d += ows, src += iw) {
+              for (long long x = 0; x < lo; ++x) d[x] = 0.0f;
+              for (long long x = 0; x < hi - lo; ++x) d[lo + x] = src[x];
+              for (long long x = hi; x < ows; ++x) d[x] = 0.0f;
+            }
+          }
+        } else {
+          for (std::size_t oy = 0; oy < oh; ++oy, dst += ow) {
+            const long long iy = static_cast<long long>(oy * g.stride + ky) -
+                                 static_cast<long long>(g.padding);
+            if (iy < 0 || iy >= ih) {
+              std::fill_n(dst, ow, 0.0f);
+              continue;
+            }
+            const float* srow =
+                plane + static_cast<std::size_t>(iy) * g.in_width;
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                   static_cast<long long>(g.padding);
+              dst[ox] = (ix >= 0 && ix < iw)
+                            ? srow[static_cast<std::size_t>(ix)]
+                            : 0.0f;
+            }
           }
         }
       }
     }
   }
+}
+
+void im2col_into(const Tensor& image_chw, const Conv2dGeometry& g,
+                 float* cols) {
+  EUGENE_REQUIRE(image_chw.rank() == 3, "im2col: expected CHW image");
+  EUGENE_REQUIRE(image_chw.dim(0) == g.in_channels && image_chw.dim(1) == g.in_height &&
+                     image_chw.dim(2) == g.in_width,
+                 "im2col: image does not match geometry");
+  const std::size_t hw = g.in_height * g.in_width;
+  im2col_strided_into(image_chw.raw(), hw, g, cols,
+                      g.out_height() * g.out_width(), 0);
+}
+
+Tensor im2col(const Tensor& image_chw, const Conv2dGeometry& g) {
+  const std::size_t oh = g.out_height(), ow = g.out_width();
+  const std::size_t patch = g.in_channels * g.kernel * g.kernel;
+  Tensor cols({patch, oh * ow});
+  im2col_into(image_chw, g, cols.raw());
   return cols;
 }
 

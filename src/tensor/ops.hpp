@@ -1,11 +1,13 @@
 // Tensor kernels: matmul family, im2col convolution, pooling.
 //
 // These are the compute primitives under eugene::nn. Shapes follow CHW for
-// single images and [rows, cols] for matrices. All kernels are plain loops
-// over contiguous memory — good enough for the paper-scale models and easy
-// to profile (src/profile measures exactly these).
+// single images and [rows, cols] for matrices. The matmul family and im2col
+// are thin wrappers over the tiled SIMD GEMM core in gemm.hpp (DESIGN.md
+// §14); the `_into` variants write into caller-provided storage so arena-
+// backed inference allocates nothing per call.
 #pragma once
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace eugene::tensor {
@@ -18,6 +20,20 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
 
 /// C = A(m×k) * Bᵀ(n×k becomes k×n): matmul with B transposed, no copy.
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+
+/// matmul writing into `out` (must be pre-shaped [m, n]). `workspace` is
+/// packing scratch of gemm_workspace_floats(m, n, k) floats, or null for
+/// the internal thread-local buffer.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 float* workspace = nullptr);
+
+/// matmul_transpose_a writing into `out` ([m, n], A stored k×m).
+void matmul_transpose_a_into(const Tensor& a, const Tensor& b, Tensor& out,
+                             float* workspace = nullptr);
+
+/// matmul_transpose_b writing into `out` ([m, n], B stored n×k).
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out,
+                             float* workspace = nullptr);
 
 /// Geometry of a 2-D convolution over a CHW image.
 struct Conv2dGeometry {
@@ -48,6 +64,22 @@ struct Conv2dGeometry {
 
 /// Unrolls image patches into a [C·k·k, H_out·W_out] matrix.
 Tensor im2col(const Tensor& image_chw, const Conv2dGeometry& g);
+
+/// im2col writing into caller storage: `cols` must hold
+/// C·k·k × H_out·W_out floats (row-major, row stride H_out·W_out).
+void im2col_into(const Tensor& image_chw, const Conv2dGeometry& g,
+                 float* cols);
+
+/// Strided im2col core shared by the per-sample wrapper and batched stage
+/// inference. Reads channel `c`'s plane at `img + c·chan_stride` (a plain
+/// CHW image has chan_stride = H·W; a feature-major batch of B images has
+/// chan_stride = B·H·W with `img` offset to sample b's plane). Writes patch
+/// row `r` of this image's columns at `cols + r·cols_ld + col0`, so several
+/// images can share one wide column matrix. Interior rows are bulk copies;
+/// padding is zero-filled (no per-pixel bounds branch at stride 1).
+void im2col_strided_into(const float* img, std::size_t chan_stride,
+                         const Conv2dGeometry& g, float* cols,
+                         std::size_t cols_ld, std::size_t col0);
 
 /// Inverse of im2col: scatters column gradients back into CHW, accumulating
 /// overlapping patches.

@@ -465,6 +465,42 @@ TEST(Fault, LiveWorkerCrashIsRetriedOnHealthyWorker) {
             stats.worker_crashes);
 }
 
+TEST(Fault, LiveGroupedDispatchCrashRetriesEveryMember) {
+  // A grouped dispatch (stage_batch > 1) fails as a unit: one worker crash
+  // charges one retry to *each* member of the dispatched group, and every
+  // member still completes on a healthy worker. The fault counters stay
+  // reconciled: crashes == fires, and the per-task retries sum to the
+  // scheduler's retry count.
+  FailpointGuard guard;
+  FailpointSpec spec;
+  spec.max_fires = 1;
+  FailpointRegistry::instance().arm("live.worker.crash", spec);
+
+  auto replicas = make_replicas(2);
+  const auto curves = make_curves();
+  const auto inputs = make_inputs(6);
+  sched::LiveConfig cfg;
+  cfg.stage_batch = 8;  // everything groups onto one dispatch per worker
+  cfg.retry.base_delay_ms = 0.1;
+  sched::LiveStats stats;
+  const auto results = sched::run_live(replicas, curves, inputs, cfg, &stats);
+
+  ASSERT_EQ(results.size(), inputs.size());
+  std::size_t total_retries = 0;
+  for (const auto& r : results) {
+    expect_well_formed(r, kStages);
+    EXPECT_FALSE(r.expired);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.stages_run, kStages);
+    total_retries += r.retries;
+  }
+  EXPECT_EQ(stats.worker_crashes, 1u);
+  EXPECT_GE(stats.retries, 1u);  // every member of the crashed group retried
+  EXPECT_EQ(total_retries, stats.retries);
+  EXPECT_EQ(FailpointRegistry::instance().fires("live.worker.crash"),
+            stats.worker_crashes);
+}
+
 TEST(Fault, LiveWorkerCrashWithRespawnCompletesAll) {
   FailpointGuard guard;
   FailpointSpec spec;

@@ -43,7 +43,9 @@ void check_gradients(Layer& layer, const tensor::Shape& input_shape, Rng& rng,
   const Tensor coeffs = Tensor::randn(probe_out.shape(), rng);
 
   zero_grads(layer.params());
-  layer.forward(input, false);
+  // backward() requires a preceding forward(training=true): inference-mode
+  // forwards skip writing the activation caches backward reads.
+  layer.forward(input, true);
   const Tensor grad_in = layer.backward(coeffs);
 
   const float eps = 1e-3f;
@@ -62,7 +64,7 @@ void check_gradients(Layer& layer, const tensor::Shape& input_shape, Rng& rng,
   // Must recompute the analytic grads last, since the loop above overwrote
   // the layer's forward cache.
   zero_grads(layer.params());
-  layer.forward(input, false);
+  layer.forward(input, true);
   layer.backward(coeffs);
   for (auto& p : layer.params()) {
     const std::size_t n = p.value->numel();

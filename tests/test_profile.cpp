@@ -134,15 +134,21 @@ TEST(PiecewiseLinearModel, HandlesMultipleFeatures) {
 
 TEST(PiecewiseLinearModel, ExecutionTimeRegression) {
   // The FastDeepIoT use case: predict conv time from (C_in, C_out, FLOPs)
-  // when the generating process is the nonlinear mobile cost model.
+  // when the generating process is the nonlinear mobile cost model. The
+  // spatial size must vary across samples: at a fixed size the cost model
+  // is an exact linear combination of C_in and FLOPs, so one region
+  // suffices (an earlier version of this test only saw splits because
+  // float-rounding noise in least_squares inflated the single-region SSE).
   const MobileConvCostModel truth = MobileConvCostModel::nexus5_reference();
   std::vector<std::array<double, 3>> rows;
   std::vector<double> times;
-  for (std::size_t cin = 4; cin <= 64; cin += 6) {
-    for (std::size_t cout = 4; cout <= 64; cout += 6) {
-      const auto g = geometry(cin, cout, 56);
-      rows.push_back({static_cast<double>(cin), static_cast<double>(cout), g.flops()});
-      times.push_back(truth.predict_ms(g));
+  for (std::size_t side : {28, 56}) {
+    for (std::size_t cin = 4; cin <= 64; cin += 6) {
+      for (std::size_t cout = 4; cout <= 64; cout += 6) {
+        const auto g = geometry(cin, cout, side);
+        rows.push_back({static_cast<double>(cin), static_cast<double>(cout), g.flops()});
+        times.push_back(truth.predict_ms(g));
+      }
     }
   }
   tensor::Tensor x({rows.size(), 3});

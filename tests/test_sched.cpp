@@ -454,6 +454,61 @@ TEST(LiveScheduler, EarlyExitReducesExecutedStages) {
       << "at least one easy sample should exit early";
 }
 
+TEST(LiveScheduler, GroupedDispatchMatchesPerTaskDispatch) {
+  // stage_batch > 1 batches same-stage tasks into one arena-backed stage run
+  // per dispatch. The batched kernel path is bitwise identical per task
+  // (DESIGN.md §14), so labels and confidences must match stage_batch=1
+  // exactly, for any grouping the scheduler happens to form.
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4, 6, 8};
+  cfg.seed = 21;
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  const gp::ConfidenceCurveModel curves = linear_curve_model();
+  Rng rng(22);
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t i = 0; i < 10; ++i)
+    inputs.push_back(tensor::Tensor::randn({2, 8, 8}, rng));
+
+  auto run_with = [&](std::size_t stage_batch) {
+    auto replicas = replicate_staged_model(model, 2);
+    LiveConfig live_cfg;  // no deadline, no early exit
+    live_cfg.stage_batch = stage_batch;
+    return run_live(replicas, curves, inputs, live_cfg);
+  };
+  const auto per_task = run_with(1);
+  const auto grouped = run_with(4);
+  ASSERT_EQ(per_task.size(), grouped.size());
+  for (std::size_t i = 0; i < per_task.size(); ++i) {
+    EXPECT_EQ(grouped[i].label, per_task[i].label) << i;
+    EXPECT_EQ(grouped[i].confidence, per_task[i].confidence) << i;
+    EXPECT_EQ(grouped[i].stages_run, per_task[i].stages_run) << i;
+    EXPECT_EQ(grouped[i].stages_run, 3u) << i;
+    EXPECT_FALSE(grouped[i].expired);
+    EXPECT_FALSE(grouped[i].degraded);
+  }
+}
+
+TEST(LiveScheduler, RejectsZeroStageBatch) {
+  nn::StagedResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.num_classes = 4;
+  cfg.stage_channels = {4};
+  nn::StagedModel model = nn::build_staged_resnet(cfg);
+  auto replicas = replicate_staged_model(model, 1);
+  Rng rng(23);
+  std::vector<tensor::Tensor> inputs = {tensor::Tensor::randn({2, 8, 8}, rng)};
+  LiveConfig live_cfg;
+  live_cfg.stage_batch = 0;
+  EXPECT_THROW(run_live(replicas, linear_curve_model(), inputs, live_cfg),
+               InvalidArgument);
+}
+
 TEST(LiveScheduler, ReplicasShareWeights) {
   nn::StagedResNetConfig cfg;
   cfg.in_channels = 2;

@@ -147,6 +147,31 @@ TEST_F(ServiceIntegration, EarlyExitSavesStages) {
   EXPECT_LT(eager_stages, full_stages);
 }
 
+TEST_F(ServiceIntegration, BatchedFirstStageMatchesPerSamplePath) {
+  // The batched stage-0 fast path must be invisible in results: bitwise
+  // equal confidences, identical labels and stage counts (the
+  // Layer::forward_batch contract, DESIGN.md §14).
+  std::vector<serving::InferenceRequest> requests;
+  for (std::size_t i = 0; i < 12; ++i) requests.push_back({test_->samples[i], 0});
+
+  serving::ServerConfig batched;
+  batched.early_exit_confidence = 0.7;
+  batched.batch_first_stage = true;
+  serving::ServerConfig per_sample = batched;
+  per_sample.batch_first_stage = false;
+
+  const auto got = service_->infer_batch(handle_, requests, batched);
+  const auto want = service_->infer_batch(handle_, requests, per_sample);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].label, want[i].label) << i;
+    EXPECT_EQ(got[i].confidence, want[i].confidence) << i;
+    EXPECT_EQ(got[i].stages_run, want[i].stages_run) << i;
+    EXPECT_FALSE(got[i].expired);
+    EXPECT_FALSE(got[i].degraded);
+  }
+}
+
 TEST_F(ServiceIntegration, ServiceClassDeadlineExpiresRequests) {
   std::vector<serving::InferenceRequest> requests;
   for (std::size_t i = 0; i < 10; ++i) requests.push_back({test_->samples[i], 0});

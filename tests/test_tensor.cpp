@@ -249,5 +249,246 @@ TEST(Linalg, LeastSquaresRecoversLine) {
   EXPECT_NEAR(beta[1], 2.0, 1e-4);
 }
 
+TEST(Linalg, LeastSquaresConditioningOffsetData) {
+  // Regression for the float-accumulated XᵀX bug: an offset regressor makes
+  // the Gram matrix entries huge (~1e11) while the usable signal lives in a
+  // catastrophic cancellation. Rounding the running sums to float on every
+  // add (the old behaviour) loses the slope entirely; accumulating in double
+  // and storing once keeps it.
+  const std::size_t n = 512;
+  const double offset = 16384.0;
+  Tensor x({n, 2});
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = offset + static_cast<double>(i);
+    x.at(i, 0) = 1.0f;
+    x.at(i, 1) = static_cast<float>(t);
+    y[i] = 2.0 + 0.001 * t;
+  }
+  const std::vector<double> beta = least_squares(x, y);
+  EXPECT_NEAR(beta[1], 0.001, 1e-3 * 0.001)  // slope to 0.1% relative
+      << "intercept=" << beta[0];
+  EXPECT_NEAR(beta[0] + beta[1] * offset, 2.0 + 0.001 * offset, 1e-2)
+      << "fitted line is off at the data's left edge";
+}
+
+// ------------------------------------------------------------------- GEMM
+
+namespace {
+
+/// Textbook triple loop with sequential-k float accumulation — the ordering
+/// the GEMM core promises to reproduce for k ≤ its KC block.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = acc;
+    }
+  return c;
+}
+
+void expect_gemm_matches_naive(GemmIsa isa) {
+  // Shapes straddling the micro-tile boundaries of both kernels (scalar 4×8,
+  // AVX2 6×16): 1, tile−1, tile, tile+1, and a round cache-friendly size.
+  const std::size_t sizes[] = {1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 128};
+  Rng rng(7);
+  for (std::size_t m : sizes) {
+    for (std::size_t n : sizes) {
+      for (std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                            std::size_t{128}}) {
+        const Tensor a = Tensor::randn({m, k}, rng);
+        const Tensor b = Tensor::randn({k, n}, rng);
+        const Tensor want = naive_matmul(a, b);
+        Tensor got({m, n});
+        gemm_with_isa(isa, m, n, k, a.raw(), k, false, b.raw(), n, false,
+                      0.0f, got.raw(), n);
+        for (std::size_t i = 0; i < m * n; ++i) {
+          // The scalar kernel sums in exactly the naive order; FMA keeps the
+          // products unrounded, so allow a few ulps either way.
+          EXPECT_NEAR(got.data()[i], want.data()[i],
+                      2e-5f * std::max(1.0f, std::abs(want.data()[i])))
+              << gemm_isa_name(isa) << " m=" << m << " n=" << n << " k=" << k
+              << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Gemm, ScalarMatchesNaiveOverOddShapes) {
+  expect_gemm_matches_naive(GemmIsa::kScalar);
+}
+
+TEST(Gemm, Avx2MatchesNaiveOverOddShapes) {
+  if (!gemm_isa_available(GemmIsa::kAvx2)) GTEST_SKIP() << "no AVX2/FMA here";
+  expect_gemm_matches_naive(GemmIsa::kAvx2);
+}
+
+TEST(Gemm, TransposedOperandsMatchNaive) {
+  Rng rng(11);
+  const std::size_t m = 13, n = 21, k = 37;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor want = naive_matmul(a, b);
+  // Aᵀ stored k×m, Bᵀ stored n×k.
+  Tensor at({k, m}), bt({n, k});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) at.at(p, i) = a.at(i, p);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) bt.at(j, p) = b.at(p, j);
+  Tensor c1({m, n}), c2({m, n});
+  gemm(m, n, k, at.raw(), m, true, b.raw(), n, false, 0.0f, c1.raw(), n);
+  gemm(m, n, k, a.raw(), k, false, bt.raw(), k, true, 0.0f, c2.raw(), n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c1.data()[i], want.data()[i], 1e-4f) << "trans_a at " << i;
+    EXPECT_NEAR(c2.data()[i], want.data()[i], 1e-4f) << "trans_b at " << i;
+  }
+}
+
+TEST(Gemm, BetaOneAccumulatesIntoC) {
+  Rng rng(12);
+  const std::size_t m = 5, n = 9, k = 6;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor base = Tensor::randn({m, n}, rng);
+  Tensor c = base;
+  gemm(m, n, k, a.raw(), k, false, b.raw(), n, false, 1.0f, c.raw(), n);
+  const Tensor prod = naive_matmul(a, b);
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_NEAR(c.data()[i], base.data()[i] + prod.data()[i], 1e-4f) << i;
+}
+
+TEST(Gemm, ZeroTimesNanAndInfPropagate) {
+  // The old matmul skipped a_ik == 0 rows as a fast path, silently turning
+  // 0·NaN and 0·inf into 0. IEEE says both are NaN; the GEMM core must not
+  // short-circuit them away, under either kernel.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (GemmIsa isa : {GemmIsa::kScalar, GemmIsa::kAvx2}) {
+    if (!gemm_isa_available(isa)) continue;
+    // k=2: row 0 of B is poisoned, row 0 of A is zero.
+    const Tensor a({1, 2}, std::vector<float>{0.0f, 1.0f});
+    const Tensor b({2, 2}, std::vector<float>{nan, inf, 2.0f, 3.0f});
+    Tensor c({1, 2});
+    gemm_with_isa(isa, 1, 2, 2, a.raw(), 2, false, b.raw(), 2, false, 0.0f,
+                  c.raw(), 2);
+    EXPECT_TRUE(std::isnan(c.at(0, 0)))
+        << gemm_isa_name(isa) << ": 0*NaN must stay NaN";
+    EXPECT_TRUE(std::isnan(c.at(0, 1)))
+        << gemm_isa_name(isa) << ": 0*inf must be NaN";
+  }
+}
+
+TEST(Gemm, MatmulPropagatesNanFromZeroRow) {
+  // Same property through the public matmul wrapper used by the layers.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const Tensor a({1, 2}, std::vector<float>{0.0f, 1.0f});
+  const Tensor b({2, 1}, std::vector<float>{nan, 5.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+}
+
+TEST(Gemm, EnvIsaParsing) {
+  EXPECT_EQ(parse_gemm_isa("scalar"), GemmIsa::kScalar);
+  EXPECT_EQ(parse_gemm_isa("avx2"), GemmIsa::kAvx2);
+  EXPECT_EQ(parse_gemm_isa("AVX2"), GemmIsa::kAvx2);
+  EXPECT_EQ(parse_gemm_isa("riscv-vector"), std::nullopt);
+  EXPECT_EQ(parse_gemm_isa(nullptr), std::nullopt);
+  EXPECT_TRUE(gemm_isa_available(GemmIsa::kScalar));
+}
+
+TEST(GemmRows, MatchesGemmBitwiseOverOddShapes) {
+  // gemm_rows() promises the exact accumulation chain of gemm() — a conv
+  // computed through row pointers must be bit-identical to the same conv
+  // through im2col + gemm. Pin it bitwise across tile boundaries and across
+  // the KC block seam (k > 256), on every available ISA.
+  Rng rng(17);
+  for (GemmIsa isa : {GemmIsa::kScalar, GemmIsa::kAvx2}) {
+    if (!gemm_isa_available(isa)) continue;
+    for (std::size_t m : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                          std::size_t{32}, gemm_rows_max_m()}) {
+      for (std::size_t n :
+           {std::size_t{1}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+            std::size_t{100}}) {
+        for (std::size_t k :
+             {std::size_t{1}, std::size_t{72}, std::size_t{300}}) {
+          const Tensor a = Tensor::randn({m, k}, rng);
+          const Tensor b = Tensor::randn({k, n}, rng);
+          std::vector<const float*> rows(k);
+          for (std::size_t p = 0; p < k; ++p) rows[p] = b.raw() + p * n;
+          Tensor want({m, n}), got({m, n});
+          gemm_with_isa(isa, m, n, k, a.raw(), k, false, b.raw(), n, false,
+                        0.0f, want.raw(), n);
+          gemm_rows_with_isa(isa, m, n, k, a.raw(), k, rows.data(), 0.0f,
+                             got.raw(), n);
+          for (std::size_t i = 0; i < m * n; ++i)
+            EXPECT_EQ(got.data()[i], want.data()[i])
+                << gemm_isa_name(isa) << " m=" << m << " n=" << n
+                << " k=" << k << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmRows, OverlappingRowsMatchMaterializedB) {
+  // The conv fast path points the k row pointers at shifted windows of one
+  // padded image plane, so consecutive rows overlap by all but one element.
+  // Same result, bitwise, as materializing those windows into a dense B.
+  Rng rng(18);
+  const std::size_t m = 6, n = 24, k = 40;
+  const Tensor plane = Tensor::randn({k + n}, rng);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  std::vector<const float*> rows(k);
+  Tensor dense({k, n});
+  for (std::size_t p = 0; p < k; ++p) {
+    rows[p] = plane.raw() + p;  // row p = plane[p .. p+n)
+    for (std::size_t j = 0; j < n; ++j) dense.at(p, j) = plane.data()[p + j];
+  }
+  Tensor want({m, n}), got({m, n});
+  gemm(m, n, k, a.raw(), k, false, dense.raw(), n, false, 0.0f, want.raw(), n);
+  gemm_rows(m, n, k, a.raw(), k, rows.data(), 0.0f, got.raw(), n);
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_EQ(got.data()[i], want.data()[i]) << i;
+}
+
+TEST(GemmRows, BetaOneAccumulatesAndRejectsBigM) {
+  Rng rng(19);
+  const std::size_t m = 4, n = 9, k = 12;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  std::vector<const float*> rows(k);
+  for (std::size_t p = 0; p < k; ++p) rows[p] = b.raw() + p * n;
+  const Tensor base = Tensor::randn({m, n}, rng);
+  Tensor c = base;
+  gemm_rows(m, n, k, a.raw(), k, rows.data(), 1.0f, c.raw(), n);
+  const Tensor prod = naive_matmul(a, b);
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_NEAR(c.data()[i], base.data()[i] + prod.data()[i], 1e-4f) << i;
+  Tensor big({gemm_rows_max_m() + 1, n});
+  EXPECT_THROW(gemm_rows(gemm_rows_max_m() + 1, n, k, big.raw(), k,
+                         rows.data(), 0.0f, big.raw(), n),
+               eugene::Error);
+}
+
+TEST(Gemm, WorkspaceVariantMatchesThreadLocalPath) {
+  Rng rng(13);
+  const std::size_t m = 10, n = 24, k = 40;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c1({m, n}), c2({m, n});
+  std::vector<float> ws(gemm_workspace_floats(m, n, k));
+  gemm(m, n, k, a.raw(), k, false, b.raw(), n, false, 0.0f, c1.raw(), n);
+  gemm(m, n, k, a.raw(), k, false, b.raw(), n, false, 0.0f, c2.raw(), n,
+       ws.data());
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_EQ(c1.data()[i], c2.data()[i]) << i;
+}
+
 }  // namespace
 }  // namespace eugene::tensor
